@@ -1,0 +1,89 @@
+"""Ablation: forecasting strategies for supernode provisioning.
+
+Compares the §3.5 seasonal ARIMA against the naive same-window-last-week
+baseline and a perfect oracle on realistic diurnal player series:
+one-step forecast error, and the supernode over/under-provisioning it
+induces through Eq. 15.
+
+Expected: the oracle is perfect; fitted ARIMA and the naive seasonal
+baseline are both accurate (the series' week-to-week variation is
+< 10 %, which makes the naive lag a strong predictor — the honest
+finding of this ablation); badly chosen MA coefficients hurt.
+"""
+
+import numpy as np
+
+from repro.core.provisioning import required_supernodes
+from repro.forecast.arima import (
+    SeasonalArima,
+    fit_seasonal_arima,
+    naive_seasonal_forecast,
+)
+from repro.forecast.diurnal import DiurnalPattern
+from repro.metrics.tables import ResultTable
+
+WINDOW_HOURS = 4
+PERIOD = 7 * 24 // WINDOW_HOURS  # windows per week
+
+
+def _window_series(seed: int, weeks: int) -> np.ndarray:
+    pattern = DiurnalPattern(base_players=2000.0, weekly_noise=0.06)
+    hourly = pattern.generate(np.random.default_rng(seed), weeks=weeks)
+    return hourly.reshape(-1, WINDOW_HOURS).mean(axis=1)
+
+
+def run_ablation(seed: int = 0, weeks: int = 5):
+    series = _window_series(seed, weeks)
+    train_len = 3 * PERIOD
+    test = series[train_len:]
+
+    arima = fit_seasonal_arima(series[:train_len], PERIOD)
+    fixed = SeasonalArima(PERIOD, theta=0.6, seasonal_theta=0.6)
+    fixed.forecast_series(series[:train_len])
+
+    arima_errors, naive_errors, fixed_errors = [], [], []
+    arima_gap, naive_gap = [], []   # supernode shortfall/excess
+    history = list(series[:train_len])
+    for actual in test:
+        arima_pred = arima.forecast()
+        fixed_pred = fixed.forecast()
+        naive_pred = naive_seasonal_forecast(history, PERIOD)
+        arima_errors.append(abs(arima_pred - actual) / max(actual, 1.0))
+        fixed_errors.append(abs(fixed_pred - actual) / max(actual, 1.0))
+        naive_errors.append(abs(naive_pred - actual) / max(actual, 1.0))
+        needed = required_supernodes(actual, 5.0)
+        arima_gap.append(abs(required_supernodes(arima_pred, 5.0) - needed))
+        naive_gap.append(abs(required_supernodes(naive_pred, 5.0) - needed))
+        arima.observe(actual)
+        fixed.observe(actual)
+        history.append(actual)
+
+    table = ResultTable(
+        title="Ablation: provisioning forecasters (5-week diurnal series)",
+        columns=["forecaster", "mape", "mean_supernode_gap"])
+    table.add_row("oracle", 0.0, 0.0)
+    table.add_row("fitted ARIMA", float(np.mean(arima_errors)),
+                  float(np.mean(arima_gap)))
+    table.add_row("fixed ARIMA (0.6/0.6)", float(np.mean(fixed_errors)),
+                  float(np.mean(naive_gap)))
+    table.add_row("naive last-week", float(np.mean(naive_errors)),
+                  float(np.mean(naive_gap)))
+    return table
+
+
+def test_ablation_forecast(benchmark, emit):
+    table = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    emit(table, "ablation_forecast.txt")
+    rows = {row[0]: row for row in table.rows}
+    # Fitted ARIMA is accurate in absolute terms on this series...
+    assert rows["fitted ARIMA"][1] < 0.10
+    # ...and within 2x of the naive seasonal baseline — which is very
+    # strong when weekly variation stays below 10 %, because Eq. 14's
+    # local-trend term (N_{t-1} - N_{t-T-1}) adds variance on sharply
+    # diurnal series.  The honest finding: the paper could have used
+    # the naive seasonal lag here.
+    assert rows["fitted ARIMA"][1] <= rows["naive last-week"][1] * 2.0
+    # Fitting matters: the arbitrary coefficients do worse.
+    assert rows["fitted ARIMA"][1] <= rows["fixed ARIMA (0.6/0.6)"][1] + 1e-9
+    # The provisioning gap stays small.
+    assert rows["fitted ARIMA"][2] < 60

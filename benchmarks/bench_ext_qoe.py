@@ -1,0 +1,54 @@
+"""Extension: QoE (MOS) comparison across the paper's systems.
+
+The paper's future work asks how CloudFog affects user QoE; this bench
+scores every session of the five-variant comparison with the MOS model
+and reports the per-system mean MOS and the share of good (>= 4) and
+bad (<= 2) experiences.
+
+Expected: the MOS ordering mirrors the continuity/latency orderings —
+CloudFog/A on top, plain Cloud at the bottom.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import VARIANTS, peersim, run_variant
+from repro.metrics.tables import ResultTable
+from repro.streaming.qoe import QoeModel
+from repro.workload.games import GAME_CATALOGUE
+
+
+def run_extension(seed: int = 11, num_players: int = 800):
+    testbed = peersim(num_players / 100_000)
+    model = QoeModel()
+    by_game = {g.name: g for g in GAME_CATALOGUE}
+    table = ResultTable(
+        title="Extension: QoE (MOS 1-5) per system",
+        columns=["system", "mean_mos", "good_share", "bad_share"])
+    for variant in VARIANTS:
+        result = run_variant(variant, testbed, seed=seed, days=3,
+                             num_players=num_players)
+        scores = []
+        for record in result.sessions:
+            game = by_game[record.game]
+            scores.append(model.mos(
+                record.continuity, game.quality.bitrate_kbps,
+                record.response_latency_ms,
+                game.latency_requirement_ms).mos)
+        scores = np.asarray(scores)
+        table.add_row(variant, float(scores.mean()),
+                      float(np.mean(scores >= 4.0)),
+                      float(np.mean(scores <= 2.0)))
+    return table
+
+
+def test_ext_qoe_ordering(benchmark, emit):
+    table = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    emit(table, "ext_qoe.txt")
+    mos = dict(zip(table.column("system"), table.column("mean_mos")))
+    assert mos["CloudFog/A"] > mos["Cloud"]
+    assert mos["CloudFog/B"] > mos["Cloud"]
+    assert mos["CDN"] > mos["Cloud"]
+    bad = dict(zip(table.column("system"), table.column("bad_share")))
+    assert bad["CloudFog/A"] < bad["Cloud"]
+    assert all(1.0 <= value <= 5.0 for value in mos.values())

@@ -1,0 +1,69 @@
+"""Extension: detection quality of the §3.6 security defences.
+
+Sweeps the junk-injection inflation factor and measures the reward
+audit's precision/recall over repeated fleets, plus the revenue the
+audit protects.
+
+Expected: perfect precision at honest-noise levels; recall reaches 1
+once the inflation clears the audit tolerance; protected revenue grows
+with the attack strength.
+"""
+
+import numpy as np
+
+from repro.metrics.tables import ResultTable
+from repro.security import (
+    MaliciousProfile,
+    RewardAuditor,
+    ThreatKind,
+    honest_report,
+    malicious_report,
+)
+
+
+def run_extension(fleets: int = 50, honest: int = 30, fraudulent: int = 5):
+    table = ResultTable(
+        title="Extension: reward-audit quality vs attack strength",
+        columns=["inflation", "precision", "recall",
+                 "overpayment_blocked_gb"])
+    for inflation in (1.3, 1.6, 2.0, 3.0, 5.0):
+        tp = fp = fn = 0
+        blocked = 0.0
+        for fleet in range(fleets):
+            rng = np.random.default_rng(fleet)
+            auditor = RewardAuditor(tolerance=1.5)
+            reports = []
+            for sn_id in range(honest):
+                reports.append(honest_report(sn_id, 10.0, 4, rng))
+            profile = MaliciousProfile(ThreatKind.JUNK_INJECTION,
+                                       inflation=inflation)
+            bad_ids = set(range(honest, honest + fraudulent))
+            for sn_id in bad_ids:
+                reports.append(malicious_report(sn_id, 10.0, 4, profile,
+                                                rng))
+            result = auditor.audit(reports)
+            flagged = set(result.flagged)
+            tp += len(flagged & bad_ids)
+            fp += len(flagged - bad_ids)
+            fn += len(bad_ids - flagged)
+            blocked += sum(r.claimed_gb - auditor.payable_gb(r)
+                           for r in reports)
+        precision = tp / (tp + fp) if tp + fp else 1.0
+        recall = tp / (tp + fn) if tp + fn else 1.0
+        table.add_row(inflation, precision, recall, blocked / fleets)
+    return table
+
+
+def test_ext_security_detection(benchmark, emit):
+    table = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    emit(table, "ext_security.txt")
+    precision = table.column("precision")
+    recall = table.column("recall")
+    blocked = table.column("overpayment_blocked_gb")
+    # Honest supernodes are never flagged at any attack strength.
+    assert all(p >= 0.99 for p in precision)
+    # Strong inflation is always caught; recall is monotone-ish.
+    assert recall[-1] == 1.0
+    assert recall[-1] >= recall[0]
+    # Blocked overpayment grows with the attack strength.
+    assert blocked[-1] > blocked[0]

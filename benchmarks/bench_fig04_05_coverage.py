@@ -1,0 +1,63 @@
+"""Figs. 4-5: user coverage vs datacenter / supernode count.
+
+Paper shapes to reproduce:
+* more sites -> higher coverage, saturating;
+* stricter latency requirement -> lower coverage;
+* a few hundred supernodes match the coverage of ~25 datacenters;
+* the same trends hold on the PlanetLab preset.
+"""
+
+from repro.experiments import (
+    fig4a_coverage_vs_datacenters,
+    fig4b_coverage_vs_supernodes,
+    fig5a_coverage_vs_datacenters_planetlab,
+    fig5b_coverage_vs_supernodes_planetlab,
+)
+
+
+def test_fig4a_datacenter_coverage(benchmark, emit):
+    table = benchmark.pedantic(fig4a_coverage_vs_datacenters,
+                               rounds=1, iterations=1)
+    emit(table, "fig04a_coverage_datacenters.txt")
+    strict = table.column("30ms")
+    lenient = table.column("110ms")
+    assert strict[-1] > strict[0]          # more DCs help
+    assert all(s < l for s, l in zip(strict, lenient))  # stricter is harder
+
+
+def test_fig4b_supernode_coverage(benchmark, emit):
+    table = benchmark.pedantic(fig4b_coverage_vs_supernodes,
+                               rounds=1, iterations=1)
+    emit(table, "fig04b_coverage_supernodes.txt")
+    series = table.column("90ms")
+    assert series[-1] >= series[0]
+
+
+def test_fig4_supernodes_match_datacenters(benchmark, emit):
+    """A few hundred supernodes ~ 25 datacenters (the headline claim)."""
+    dc = fig4a_coverage_vs_datacenters()
+    sn = benchmark.pedantic(fig4b_coverage_vs_supernodes,
+                            rounds=1, iterations=1)
+    dc_25 = dc.column("90ms")[-1]          # 25 datacenters
+    sn_200 = sn.column("90ms")[3]          # 200 supernodes
+    emit_table = type(dc)(
+        "Fig 4 headline: 200 supernodes vs 25 datacenters (90 ms)",
+        ["deployment", "coverage"])
+    emit_table.add_row("25 datacenters", dc_25)
+    emit_table.add_row("200 supernodes", sn_200)
+    emit(emit_table, "fig04_headline.txt")
+    assert abs(sn_200 - dc_25) < 0.15
+
+
+def test_fig5a_planetlab_datacenters(benchmark, emit):
+    table = benchmark.pedantic(fig5a_coverage_vs_datacenters_planetlab,
+                               rounds=1, iterations=1)
+    emit(table, "fig05a_coverage_datacenters_planetlab.txt")
+    assert table.column("110ms")[-1] > table.column("110ms")[0]
+
+
+def test_fig5b_planetlab_supernodes(benchmark, emit):
+    table = benchmark.pedantic(fig5b_coverage_vs_supernodes_planetlab,
+                               rounds=1, iterations=1)
+    emit(table, "fig05b_coverage_supernodes_planetlab.txt")
+    assert table.column("70ms")[-1] > table.column("70ms")[0]

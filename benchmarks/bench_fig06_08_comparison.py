@@ -1,0 +1,63 @@
+"""Figs. 6-8: the five-system comparison over growing player counts.
+
+Paper shapes to reproduce (per figure):
+* Fig 6  bandwidth: Cloud > CDN-small > CDN > CloudFog (B ~ A);
+* Fig 7  latency:   Cloud worst; CloudFog/A best of the fog variants;
+* Fig 8  continuity: CloudFog/A > CloudFog/B > CDN > CDN-small > Cloud.
+All three reuse one sweep (paired seeds), so the harness runs the sweep
+once and derives the three tables.
+"""
+
+import pytest
+
+from repro.experiments import fig6_bandwidth, fig7_response_latency, fig8_continuity
+
+PLAYER_COUNTS = (400, 800, 1600)
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def sweep_tables():
+    bandwidth = fig6_bandwidth(player_counts=PLAYER_COUNTS, seed=SEED)
+    latency = fig7_response_latency(player_counts=PLAYER_COUNTS, seed=SEED)
+    continuity = fig8_continuity(player_counts=PLAYER_COUNTS, seed=SEED)
+    return bandwidth, latency, continuity
+
+
+def test_fig6_bandwidth(benchmark, emit, sweep_tables):
+    table = benchmark.pedantic(
+        lambda: fig6_bandwidth(player_counts=(400,), seed=SEED),
+        rounds=1, iterations=1)
+    full = sweep_tables[0]
+    emit(full, "fig06_bandwidth.txt")
+    cloud = full.column("Cloud")
+    cdn_small = full.column("CDN-small")
+    cdn = full.column("CDN")
+    fog = full.column("CloudFog/B")
+    for row in range(len(cloud)):
+        assert cloud[row] > cdn_small[row] > cdn[row] > fog[row]
+    # CloudFog cuts the cloud's bandwidth by a large factor.
+    assert fog[-1] < 0.5 * cloud[-1]
+
+
+def test_fig7_latency(benchmark, emit, sweep_tables):
+    full = benchmark.pedantic(lambda: sweep_tables[1], rounds=1, iterations=1)
+    emit(full, "fig07_latency.txt")
+    cloud = full.column("Cloud")
+    basic = full.column("CloudFog/B")
+    advanced = full.column("CloudFog/A")
+    for row in range(len(cloud)):
+        assert cloud[row] > basic[row] > advanced[row]
+
+
+def test_fig8_continuity(benchmark, emit, sweep_tables):
+    full = benchmark.pedantic(lambda: sweep_tables[2], rounds=1, iterations=1)
+    emit(full, "fig08_continuity.txt")
+    cloud = full.column("Cloud")
+    cdn = full.column("CDN")
+    basic = full.column("CloudFog/B")
+    advanced = full.column("CloudFog/A")
+    for row in range(len(cloud)):
+        assert advanced[row] >= basic[row] - 0.02
+        assert basic[row] > cloud[row]
+        assert cdn[row] > cloud[row]

@@ -1,0 +1,75 @@
+"""Figs. 6(b)-9(b): the PlanetLab panels.
+
+The paper shows every comparison twice — PeerSim and PlanetLab — and
+reports the same orderings on both.  These benches run the PlanetLab
+preset (750 nodes, 2 datacenters, noisier paths) and assert the same
+shapes as the PeerSim panels.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    fig6b_bandwidth_planetlab,
+    fig7b_latency_planetlab,
+    fig8b_continuity_planetlab,
+    fig9b_latencies_vs_supernodes,
+)
+
+PLAYERS = (250, 500, 750)
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def planetlab_tables():
+    return (fig6b_bandwidth_planetlab(player_counts=PLAYERS, seed=SEED),
+            fig7b_latency_planetlab(player_counts=PLAYERS, seed=SEED),
+            fig8b_continuity_planetlab(player_counts=PLAYERS, seed=SEED))
+
+
+def test_fig6b_bandwidth_planetlab(benchmark, emit, planetlab_tables):
+    table = benchmark.pedantic(lambda: planetlab_tables[0],
+                               rounds=1, iterations=1)
+    emit(table, "fig06b_bandwidth_planetlab.txt")
+    cloud = table.column("Cloud")
+    fog = table.column("CloudFog/B")
+    for row in range(len(cloud)):
+        assert cloud[row] > fog[row]
+    assert fog[-1] < 0.6 * cloud[-1]
+
+
+def test_fig7b_latency_planetlab(benchmark, emit, planetlab_tables):
+    table = benchmark.pedantic(lambda: planetlab_tables[1],
+                               rounds=1, iterations=1)
+    emit(table, "fig07b_latency_planetlab.txt")
+    cloud = table.column("Cloud")
+    advanced = table.column("CloudFog/A")
+    for row in range(len(cloud)):
+        assert advanced[row] < cloud[row]
+
+
+def test_fig8b_continuity_planetlab(benchmark, emit, planetlab_tables):
+    table = benchmark.pedantic(lambda: planetlab_tables[2],
+                               rounds=1, iterations=1)
+    emit(table, "fig08b_continuity_planetlab.txt")
+    cloud = table.column("Cloud")
+    basic = table.column("CloudFog/B")
+    advanced = table.column("CloudFog/A")
+    for row in range(len(cloud)):
+        assert basic[row] > cloud[row]
+        assert advanced[row] >= basic[row] - 0.02
+
+
+def test_fig9b_latencies_vs_supernodes(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig9b_latencies_vs_supernodes(supernode_counts=(24, 48, 96)),
+        rounds=1, iterations=1)
+    emit(table, "fig09b_latencies_vs_supernodes.txt")
+    # Assignment latency unaffected by supernode count (paper's note).
+    assignments = table.column("assignment_s")
+    assert max(assignments) < 30.0
+    joins = table.column("player_join_ms")
+    assert all(j < 1000.0 for j in joins)
+    migrations = table.column("migration_ms")
+    assert all(not math.isnan(m) and m < 2000.0 for m in migrations)

@@ -1,0 +1,27 @@
+"""Fig. 11: receiver-driven encoding-rate adaptation.
+
+Paper shape: adaptation raises the satisfied-player share, with the gap
+growing as supernodes support more players (the paper reports a 27 %
+increase at 25 players per supernode).
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_adaptation
+
+
+def test_fig11_adaptation(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig11_adaptation(loads=(5, 10, 15, 20, 25),
+                                 num_players=600),
+        rounds=1, iterations=1)
+    emit(table, "fig11_adaptation.txt")
+    without = np.array(table.column("CloudFog/B"))
+    with_adapt = np.array(table.column("CloudFog-adapt"))
+    # Adaptation never hurts and helps under load.
+    assert np.all(with_adapt >= without - 0.01)
+    # The relative gain at the heaviest load is substantial.
+    heavy_gain = (with_adapt[-1] - without[-1]) / max(without[-1], 1e-9)
+    assert heavy_gain > 0.08
+    # Satisfaction declines with load in both arms (congestion bites).
+    assert without[-1] < without[0]

@@ -1,0 +1,25 @@
+"""Fig. 12: social-network based server assignment.
+
+Paper shape: assigning social friends to the same server cuts the
+server-latency component of the response (the paper reports ~20 ms) at
+every datacenter size, while the "other" latency is untouched.
+"""
+
+from repro.experiments import fig12_server_assignment
+
+
+def test_fig12_server_assignment(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: fig12_server_assignment(server_counts=(5, 10, 15, 20),
+                                        num_players=600),
+        rounds=1, iterations=1)
+    emit(table, "fig12_server_assignment.txt")
+    without = table.column("server_ms_w/o")
+    with_social = table.column("server_ms_w/")
+    other_without = table.column("other_ms_w/o")
+    other_with = table.column("other_ms_w/")
+    for row in range(len(without)):
+        # Social assignment reduces server latency at every z.
+        assert with_social[row] < without[row]
+        # The non-server latency share is identical (same workload).
+        assert abs(other_without[row] - other_with[row]) < 2.0

@@ -1,0 +1,65 @@
+"""Figs. 13-15: dynamic supernode provisioning under user churn.
+
+Paper shapes, as the peak arrival rate grows:
+* Fig 13: fixed provisioning's cloud bandwidth rises steeply; dynamic
+  provisioning keeps it much lower;
+* Fig 14: dynamic provisioning keeps response latency lower;
+* Fig 15: dynamic provisioning sustains higher continuity.
+The three figures share one sweep (paired seeds).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig13_provisioning_bandwidth,
+    fig14_provisioning_latency,
+    fig15_provisioning_continuity,
+)
+
+PEAK_RATES = (1.0, 2.0, 4.0)
+NUM_PLAYERS = 2000
+DAYS = 9
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def tables():
+    kwargs = dict(peak_rates=PEAK_RATES, num_players=NUM_PLAYERS,
+                  days=DAYS, seed=SEED)
+    return (fig13_provisioning_bandwidth(**kwargs),
+            fig14_provisioning_latency(**kwargs),
+            fig15_provisioning_continuity(**kwargs))
+
+
+def test_fig13_bandwidth(benchmark, emit, tables):
+    table = benchmark.pedantic(
+        lambda: fig13_provisioning_bandwidth(
+            peak_rates=(1.0,), num_players=NUM_PLAYERS, days=DAYS,
+            seed=SEED),
+        rounds=1, iterations=1)
+    full = tables[0]
+    emit(full, "fig13_provisioning_bandwidth.txt")
+    fixed = full.column("CloudFog/B")
+    dynamic = full.column("CloudFog-provision")
+    # Fixed deployment's bandwidth climbs with the arrival rate...
+    assert fixed[-1] > 1.5 * fixed[0]
+    # ...while forecast-driven provisioning absorbs the surge.
+    assert dynamic[-1] < fixed[-1]
+
+
+def test_fig14_latency(benchmark, emit, tables):
+    full = benchmark.pedantic(lambda: tables[1], rounds=1, iterations=1)
+    emit(full, "fig14_provisioning_latency.txt")
+    fixed = full.column("CloudFog/B")
+    dynamic = full.column("CloudFog-provision")
+    # At the heaviest churn the dynamic system responds faster.
+    assert dynamic[-1] < fixed[-1]
+
+
+def test_fig15_continuity(benchmark, emit, tables):
+    full = benchmark.pedantic(lambda: tables[2], rounds=1, iterations=1)
+    emit(full, "fig15_provisioning_continuity.txt")
+    fixed = full.column("CloudFog/B")
+    dynamic = full.column("CloudFog-provision")
+    assert dynamic[-1] > fixed[-1]
+    assert all(0 <= value <= 1 for value in fixed + dynamic)

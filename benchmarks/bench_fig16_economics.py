@@ -1,0 +1,37 @@
+"""Fig. 16: economic incentives.
+
+Paper shapes:
+* Fig 16(a): supernode running costs are trivial next to the rewards,
+  so profits grow roughly linearly with hours contributed;
+* Fig 16(b): rewarding supernodes costs far less than renting EC2 GPU
+  instances — savings grow with hours.
+"""
+
+from repro.experiments import fig16a_supernode_economics, fig16b_provider_savings
+
+
+def test_fig16a_supernode_profits(benchmark, emit):
+    table = benchmark.pedantic(fig16a_supernode_economics,
+                               rounds=1, iterations=1)
+    emit(table, "fig16a_supernode_economics.txt")
+    rewards = table.column("rewards_usd")
+    costs = table.column("costs_usd")
+    profits = table.column("profits_usd")
+    # Costs are trivial compared to rewards (§4.4).
+    assert all(c < 0.05 * r for c, r in zip(costs, rewards) if r > 0)
+    # Profits grow monotonically with contributed hours.
+    assert profits == sorted(profits)
+    assert profits[0] > 0
+
+
+def test_fig16b_provider_savings(benchmark, emit):
+    table = benchmark.pedantic(fig16b_provider_savings,
+                               rounds=1, iterations=1)
+    emit(table, "fig16b_provider_savings.txt")
+    savings = table.column("savings_usd")
+    fees = table.column("renting_fees_usd")
+    rewards = table.column("rewards_to_sn_usd")
+    # Supernodes always undercut EC2 rental; savings grow with hours.
+    assert all(s > 0 for s in savings)
+    assert savings == sorted(savings)
+    assert all(r < f for r, f in zip(rewards, fees))

@@ -1,0 +1,55 @@
+"""Opt-in full-paper-scale runs.
+
+The default benches run at 1-10 % of the paper's population so the whole
+suite finishes in minutes.  Set ``CLOUDFOG_FULL_SCALE=1`` to run the
+coverage experiment at the paper's exact scale — 100,000 players,
+600 supernodes, 25 datacenters — and a 10 %-scale end-to-end system
+comparison.  Without the flag these tests skip.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    fig4a_coverage_vs_datacenters,
+    fig4b_coverage_vs_supernodes,
+    peersim,
+    run_variant,
+)
+
+FULL_SCALE = os.environ.get("CLOUDFOG_FULL_SCALE") == "1"
+skip_unless_full = pytest.mark.skipif(
+    not FULL_SCALE, reason="set CLOUDFOG_FULL_SCALE=1 for paper-scale runs")
+
+
+@skip_unless_full
+def test_full_scale_coverage(benchmark, emit):
+    """Fig. 4 at the paper's exact scale: 100 k players."""
+    testbed = peersim(1.0)
+
+    def run():
+        dc = fig4a_coverage_vs_datacenters(testbed)
+        sn = fig4b_coverage_vs_supernodes(testbed)
+        return dc, sn
+
+    dc, sn = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(dc, "full_scale_fig04a.txt")
+    emit(sn, "full_scale_fig04b.txt")
+    assert dc.column("90ms")[-1] > dc.column("90ms")[0]
+    assert sn.column("90ms")[-1] > 0.5
+
+
+@skip_unless_full
+def test_full_scale_system_comparison(benchmark, emit):
+    """Cloud vs CloudFog/A at 10 % of the paper's population."""
+    testbed = peersim(0.1)
+
+    def run():
+        cloud = run_variant("Cloud", testbed, seed=11, days=2)
+        fog = run_variant("CloudFog/A", testbed, seed=11, days=2)
+        return cloud, fog
+
+    cloud, fog = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert fog.mean_cloud_bandwidth_mbps < cloud.mean_cloud_bandwidth_mbps
+    assert fog.mean_continuity > cloud.mean_continuity

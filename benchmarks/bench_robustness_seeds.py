@@ -1,0 +1,77 @@
+"""Robustness: the headline orderings hold across random seeds.
+
+The figure benches run one (paired) seed; this bench re-runs the
+five-system comparison at three different seeds and asserts that the
+paper's qualitative orderings are not a single-seed artefact.
+"""
+
+import pytest
+
+from repro.experiments import VARIANTS, peersim, run_variant
+from repro.metrics.tables import ResultTable
+
+SEEDS = (2, 11, 23)
+NUM_PLAYERS = 800
+
+
+def run_sweep():
+    testbed = peersim(NUM_PLAYERS / 100_000)
+    table = ResultTable(
+        title="Robustness: orderings across seeds (800 players)",
+        columns=["seed", "metric", *VARIANTS])
+    results = {}
+    for seed in SEEDS:
+        for variant in VARIANTS:
+            results[(seed, variant)] = run_variant(
+                variant, testbed, seed=seed, days=3)
+        table.add_row(seed, "bandwidth_mbps",
+                      *[results[(seed, v)].mean_cloud_bandwidth_mbps
+                        for v in VARIANTS])
+        table.add_row(seed, "latency_ms",
+                      *[results[(seed, v)].mean_response_latency_ms
+                        for v in VARIANTS])
+        table.add_row(seed, "continuity",
+                      *[results[(seed, v)].mean_continuity
+                        for v in VARIANTS])
+    return table, results
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_sweep()
+
+
+def test_robustness_table(benchmark, emit, sweep):
+    table = benchmark.pedantic(lambda: sweep[0], rounds=1, iterations=1)
+    emit(table, "robustness_seeds.txt")
+    assert len(table.rows) == 3 * len(SEEDS)
+
+
+def test_bandwidth_ordering_every_seed(benchmark, emit, sweep):
+    _ = benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, results = sweep
+    for seed in SEEDS:
+        cloud = results[(seed, "Cloud")].mean_cloud_bandwidth_mbps
+        fog = results[(seed, "CloudFog/B")].mean_cloud_bandwidth_mbps
+        cdn = results[(seed, "CDN")].mean_cloud_bandwidth_mbps
+        assert cloud > cdn > fog, f"bandwidth ordering broke at seed {seed}"
+
+
+def test_latency_ordering_every_seed(benchmark, sweep):
+    _ = benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, results = sweep
+    for seed in SEEDS:
+        cloud = results[(seed, "Cloud")].mean_response_latency_ms
+        advanced = results[(seed, "CloudFog/A")].mean_response_latency_ms
+        assert advanced < cloud, f"latency ordering broke at seed {seed}"
+
+
+def test_continuity_ordering_every_seed(benchmark, sweep):
+    _ = benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _, results = sweep
+    for seed in SEEDS:
+        cloud = results[(seed, "Cloud")].mean_continuity
+        basic = results[(seed, "CloudFog/B")].mean_continuity
+        advanced = results[(seed, "CloudFog/A")].mean_continuity
+        assert basic > cloud, f"continuity ordering broke at seed {seed}"
+        assert advanced >= basic - 0.03, f"/A fell below /B at seed {seed}"

@@ -1,0 +1,22 @@
+"""Benchmark helpers: emit every figure table to stdout and to disk."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a ResultTable and persist it under benchmarks/results/."""
+
+    def _emit(table, filename: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = table.render()
+        (RESULTS_DIR / filename).write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _emit

@@ -1,0 +1,42 @@
+"""Compare CloudFog against the paper's baselines on one workload.
+
+Runs the five systems of the evaluation — plain Cloud, a sparse CDN, the
+full CDN, CloudFog/B and CloudFog/A — on the *same* player population
+and day plans (seeds are paired), then prints the three metrics the
+paper compares them on: cloud bandwidth (Fig. 6), response latency
+(Fig. 7) and playback continuity (Fig. 8).
+
+Run with::
+
+    python examples/compare_systems.py
+"""
+
+from repro.experiments import VARIANTS, peersim, run_variant
+
+
+def main() -> None:
+    testbed = peersim(0.008)  # 800 players, paper proportions
+    print(f"Testbed: {testbed.name} — {testbed.num_players} players, "
+          f"{testbed.num_datacenters} datacenters, "
+          f"{testbed.num_supernodes} supernodes\n")
+
+    header = (f"{'system':<12} {'bandwidth':>12} {'latency':>10} "
+              f"{'continuity':>11} {'satisfied':>10}")
+    print(header)
+    print("-" * len(header))
+    for variant in VARIANTS:
+        result = run_variant(variant, testbed, seed=11, days=3)
+        print(f"{variant:<12} "
+              f"{result.mean_cloud_bandwidth_mbps:>10.1f} Mb "
+              f"{result.mean_response_latency_ms:>8.1f} ms "
+              f"{result.mean_continuity:>11.3f} "
+              f"{result.mean_satisfied_ratio:>9.1%}")
+
+    print("\nExpected shape (the paper's findings):")
+    print("  bandwidth : Cloud > CDN-small > CDN > CloudFog")
+    print("  latency   : Cloud worst, CloudFog/A best")
+    print("  continuity: CloudFog/A > CloudFog/B > CDN > Cloud")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Watch the receiver-driven rate adaptation react to congestion.
+
+Simulates three event-level streaming sessions of the same game on the
+same path at increasing supernode load (utilisation), with and without
+the §3.3 adaptation strategy, using the discrete-event engine directly.
+Shows the controller trading video quality for playback continuity —
+the Fig. 11 effect at single-session granularity.
+
+Run with::
+
+    python examples/streaming_adaptation.py
+"""
+
+import numpy as np
+
+from repro.network.transport import PathSpec, TransportModel
+from repro.streaming import SessionConfig, simulate_session
+from repro.workload.games import game_for_level
+
+
+def run_session(game, utilization: float, adaptive: bool):
+    config = SessionConfig(
+        response_budget_ms=game.latency_requirement_ms,
+        tolerance=game.tolerance,
+        path=PathSpec(one_way_latency_ms=18.0, sender_share_mbps=2.0,
+                      receiver_download_mbps=8.0),
+        upstream_one_way_ms=0.0,   # judge the delivery leg, as the system does
+        processing_ms=0.0,
+        sender_utilization=utilization,
+        duration_s=60.0,
+        adaptive=adaptive,
+    )
+    rng = np.random.default_rng(42)
+    transport = TransportModel(jitter_fraction=0.10)
+    return simulate_session(config, rng, transport)
+
+
+def main() -> None:
+    game = game_for_level(4)  # EmpireForge: 1200 kbps, 90 ms budget
+    print(f"Game: {game.name} ({game.genre}) — "
+          f"{game.quality.bitrate_kbps} kbps default, "
+          f"{game.latency_requirement_ms:.0f} ms delivery budget\n")
+
+    header = (f"{'utilisation':>11} {'adaptive':>9} {'continuity':>11} "
+              f"{'mean kbps':>10} {'final level':>12} {'adjustments':>12}")
+    print(header)
+    print("-" * len(header))
+    for utilization in (0.0, 0.5, 0.85):
+        for adaptive in (False, True):
+            result = run_session(game, utilization, adaptive)
+            print(f"{utilization:>11.2f} {str(adaptive):>9} "
+                  f"{result.continuity:>11.3f} "
+                  f"{result.mean_bitrate_kbps:>10.0f} "
+                  f"{result.final_level:>12} "
+                  f"{result.adjustments:>12}")
+
+    print("\nAt high utilisation the adaptive session drops one or two")
+    print("quality levels (smaller packets clear the congested sender in")
+    print("time) and keeps its continuity, while the fixed-rate session")
+    print("misses its delivery deadlines.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: this environment lacks the ``wheel`` package, so
+editable installs must go through setuptools' develop mode
+(``pip install -e . --no-use-pep517``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,92 @@
+"""Command-line entry point: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro list                 # show available figures
+    python -m repro fig4a                # print one figure's table
+    python -m repro fig8 --seed 3        # with a different seed
+    python -m repro fig6 --players 400 800
+
+Figures run at the reduced benchmark scales; for custom scales use the
+:mod:`repro.experiments` API directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments
+
+#: CLI name -> (experiments function, accepts seed, accepts players).
+FIGURES = {
+    "fig4a": (experiments.fig4a_coverage_vs_datacenters, True, False),
+    "fig4b": (experiments.fig4b_coverage_vs_supernodes, True, False),
+    "fig5a": (experiments.fig5a_coverage_vs_datacenters_planetlab, True, False),
+    "fig5b": (experiments.fig5b_coverage_vs_supernodes_planetlab, True, False),
+    "fig6": (experiments.fig6_bandwidth, True, True),
+    "fig6b": (experiments.fig6b_bandwidth_planetlab, True, True),
+    "fig7": (experiments.fig7_response_latency, True, True),
+    "fig7b": (experiments.fig7b_latency_planetlab, True, True),
+    "fig8": (experiments.fig8_continuity, True, True),
+    "fig8b": (experiments.fig8b_continuity_planetlab, True, True),
+    "fig9": (experiments.fig9_setup_latencies, True, True),
+    "fig9b": (experiments.fig9b_latencies_vs_supernodes, True, False),
+    "fig10": (experiments.fig10_reputation, True, False),
+    "fig11": (experiments.fig11_adaptation, True, False),
+    "fig12": (experiments.fig12_server_assignment, True, False),
+    "fig13": (experiments.fig13_provisioning_bandwidth, True, False),
+    "fig14": (experiments.fig14_provisioning_latency, True, False),
+    "fig15": (experiments.fig15_provisioning_continuity, True, False),
+    "fig16a": (experiments.fig16a_supernode_economics, False, False),
+    "fig16b": (experiments.fig16b_provider_savings, False, False),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce a figure of the CloudFog paper.")
+    parser.add_argument("figure",
+                        help="figure name (e.g. fig4a) or 'list'")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="experiment seed (default 0)")
+    parser.add_argument("--players", type=int, nargs="+", default=None,
+                        help="player-count sweep (figures 6-9 only)")
+    parser.add_argument("--chart", action="store_true",
+                        help="render ASCII bar charts instead of a table")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.figure == "list":
+        for name, (func, _, _) in sorted(FIGURES.items()):
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<8} {doc}")
+        return 0
+    if args.figure not in FIGURES:
+        print(f"unknown figure {args.figure!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    func, takes_seed, takes_players = FIGURES[args.figure]
+    kwargs = {}
+    if takes_seed:
+        kwargs["seed"] = args.seed
+    if args.players is not None:
+        if not takes_players:
+            print(f"{args.figure} does not take --players",
+                  file=sys.stderr)
+            return 2
+        kwargs["player_counts"] = tuple(args.players)
+    table = func(**kwargs)
+    if args.chart:
+        from .metrics.plots import render_bars
+        print(render_bars(table))
+    else:
+        print(table)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Cloud substrate: datacenters, game-state servers, the virtual world."""
+
+from .datacenter import DEFAULT_SERVERS_PER_DATACENTER, Datacenter
+from .regions import KdTreePartitioner, Region2D
+from .gamestate import (
+    ACTION_SIZE_BITS,
+    UPDATE_MESSAGE_BITS_PER_SUPERNODE,
+    Action,
+    ActionType,
+    Avatar,
+    UpdateMessage,
+    VirtualWorld,
+)
+from .server import SERVER_HOP_MS, GameServer
+
+__all__ = [
+    "KdTreePartitioner",
+    "Region2D",
+    "DEFAULT_SERVERS_PER_DATACENTER",
+    "Datacenter",
+    "ACTION_SIZE_BITS",
+    "UPDATE_MESSAGE_BITS_PER_SUPERNODE",
+    "Action",
+    "ActionType",
+    "Avatar",
+    "UpdateMessage",
+    "VirtualWorld",
+    "SERVER_HOP_MS",
+    "GameServer",
+]

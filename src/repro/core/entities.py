@@ -1,0 +1,154 @@
+"""Core entities: supernodes and player connection state.
+
+§3.1.1's supernode requirements (reliable, stable, superior network
+connection, pre-installed game client) become fields and invariants
+here; throttling behaviour (§4.1: some supernodes cut their upload to
+80 % / 50 % of capacity with probability 0.5 each cycle) is per-cycle
+state on the entity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["Supernode", "ConnectionKind", "PlayerConnection"]
+
+
+class ConnectionKind(Enum):
+    """Where a player's game video comes from."""
+
+    SUPERNODE = "supernode"
+    CLOUD = "cloud"
+    CDN = "cdn"
+
+
+@dataclass(eq=False)
+class Supernode:
+    """One fog node: a contributed machine that renders and streams.
+
+    Identity semantics (``eq=False``): two supernode objects are equal
+    only if they are the same deployment — membership checks in live
+    sets must not compare mutable connection state.
+    """
+
+    supernode_id: int
+    #: Index of the contributing player in the population (its location,
+    #: access delay and link speed come from there).
+    host_player: int
+    #: Maximum number of normal nodes it can support (Pareto, §4.1).
+    capacity: int
+    #: Raw upload bandwidth (Mbit/s).
+    upload_mbps: float
+    #: One-way access delay (ms) — supernodes have "superior network
+    #: connection" (§3.1.1), typically better than the average player.
+    access_ms: float
+    #: Location (km).
+    x_km: float = 0.0
+    y_km: float = 0.0
+    #: Current throttle factor in (0, 1]: 1.0 = honest full service.
+    throttle: float = 1.0
+    #: Designated misbehaviour class: 1.0, 0.8 or 0.5 (§4.1 settings).
+    throttle_class: float = 1.0
+    #: Players currently connected.
+    connected: set[int] = field(default_factory=set)
+    #: Lifetime count of players this supernode has supported (used by
+    #: the provisioning preference ranking, §3.5).
+    supported_total: int = 0
+    online: bool = True
+    #: GPU tier of the contributed machine (None when not modelled).
+    gpu_tier: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.upload_mbps <= 0:
+            raise ValueError("upload_mbps must be positive")
+        if self.access_ms < 0:
+            raise ValueError("access_ms must be non-negative")
+        if not 0 < self.throttle <= 1:
+            raise ValueError("throttle must lie in (0, 1]")
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def effective_capacity(self) -> int:
+        """Advertised player slots.
+
+        Deliberate throttling (§4.1) cuts the *upload* a supernode
+        actually spends, not the slots it advertises — a selfish
+        supernode keeps accepting players (that is how it earns
+        rewards) while degrading their streams.  Reputation exists to
+        catch exactly this.
+        """
+        return self.capacity
+
+    @property
+    def load(self) -> int:
+        return len(self.connected)
+
+    @property
+    def has_capacity(self) -> bool:
+        return self.online and self.load < self.effective_capacity
+
+    def utilization(self, stream_rate_mbps: float) -> float:
+        """Upload utilisation given the mean per-player stream rate."""
+        if stream_rate_mbps < 0:
+            raise ValueError("stream_rate_mbps must be non-negative")
+        effective_upload = self.upload_mbps * self.throttle
+        return self.load * stream_rate_mbps / effective_upload
+
+    def upload_share_mbps(self) -> float:
+        """Fair upload share for one more connected player."""
+        effective_upload = self.upload_mbps * self.throttle
+        return effective_upload / max(1, self.load)
+
+    # -- connection management -----------------------------------------------
+    def connect(self, player: int) -> None:
+        if not self.online:
+            raise RuntimeError(f"supernode {self.supernode_id} is offline")
+        if not self.has_capacity:
+            raise RuntimeError(
+                f"supernode {self.supernode_id} is at capacity "
+                f"({self.load}/{self.effective_capacity})")
+        if player in self.connected:
+            raise ValueError(f"player {player} is already connected")
+        self.connected.add(player)
+        self.supported_total += 1
+
+    def disconnect(self, player: int) -> None:
+        self.connected.discard(player)
+
+    def fail(self) -> set[int]:
+        """Take the supernode offline; return the orphaned players."""
+        self.online = False
+        orphans = set(self.connected)
+        self.connected.clear()
+        return orphans
+
+    def roll_throttle(self, rng: np.random.Generator,
+                      probability: float) -> None:
+        """Re-roll this cycle's throttling (§4.1 settings)."""
+        if not 0 <= probability <= 1:
+            raise ValueError("probability must lie in [0, 1]")
+        if self.throttle_class >= 1.0:
+            self.throttle = 1.0
+        else:
+            throttles = rng.random() < probability
+            self.throttle = self.throttle_class if throttles else 1.0
+
+
+@dataclass
+class PlayerConnection:
+    """A player's current video source."""
+
+    player: int
+    kind: ConnectionKind
+    #: Supernode id (SUPERNODE), datacenter index (CLOUD) or CDN site (CDN).
+    target: int
+    downstream_one_way_ms: float
+
+    def __post_init__(self) -> None:
+        if self.downstream_one_way_ms < 0:
+            raise ValueError("latency must be non-negative")

@@ -1,0 +1,142 @@
+"""Dynamic supernode provisioning — §3.5, Eqs. 15–16.
+
+Before peak hours the provider forecasts the player count with the
+seasonal ARIMA model (Eq. 14) and pre-deploys::
+
+    N_s^t = (1 + epsilon) * N_hat_t / C_hat                       (15)
+
+supernodes, where ``C_hat`` is the average supernode capacity.  Which
+candidates get deployed follows the popularity preference (Eq. 16):
+ranked by the number of players they supported in the previous slot,
+candidate at rank j is selected with probability proportional to 1/j —
+supernodes in player-dense areas keep getting picked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..economics.provider import ProviderModel
+from ..forecast.arima import SeasonalArima
+from .entities import Supernode
+
+__all__ = ["required_supernodes", "rank_preference_selection", "Provisioner"]
+
+
+def required_supernodes(predicted_players: float, average_capacity: float,
+                        epsilon: float = 0.2) -> int:
+    """Eq. 15: supernodes needed for a predicted population."""
+    if predicted_players < 0:
+        raise ValueError("predicted_players must be non-negative")
+    if average_capacity <= 0:
+        raise ValueError("average_capacity must be positive")
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    return int(np.ceil((1.0 + epsilon) * predicted_players / average_capacity))
+
+
+def rank_preference_selection(ranked_candidates: list[int], count: int,
+                              rng: np.random.Generator) -> list[int]:
+    """Eq. 16: pick ``count`` candidates with P_j proportional to 1/rank.
+
+    ``ranked_candidates`` must already be ordered by descending previous
+    support (rank 1 first).  Selection is without replacement: weights
+    renormalise as candidates are taken.  If ``count`` covers everyone,
+    all candidates are returned.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    n = len(ranked_candidates)
+    if count >= n:
+        return list(ranked_candidates)
+    weights = 1.0 / np.arange(1, n + 1, dtype=np.float64)
+    probabilities = weights / weights.sum()
+    picks = rng.choice(n, size=count, replace=False, p=probabilities)
+    return [ranked_candidates[int(i)] for i in sorted(picks)]
+
+
+@dataclass
+class Provisioner:
+    """Forecast-driven supernode reservation over the week's windows.
+
+    Observes the player count once per window (``window_hours``), keeps
+    a seasonal ARIMA per-window forecaster (season = one week of
+    windows) and answers "how many supernodes should be live next
+    window, and which".
+    """
+
+    average_capacity: float
+    epsilon: float = 0.2
+    window_hours: int = 4
+    theta: float = 0.2
+    seasonal_theta: float = 0.2
+    minimum_supernodes: int = 1
+    #: Optional §3.1.2 economics gate: when set, a candidate is deployed
+    #: only if its revenue gain G_s(j) (Eq. 6) is positive for the new
+    #: players its capacity would cover.
+    provider_model: ProviderModel | None = None
+    _model: SeasonalArima = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.window_hours < 1 or 24 % self.window_hours != 0:
+            raise ValueError("window_hours must divide 24")
+        period = 7 * 24 // self.window_hours  # windows per week
+        self._model = SeasonalArima(period, self.theta, self.seasonal_theta)
+
+    @property
+    def ready(self) -> bool:
+        """True once the forecaster has a full season of observations."""
+        return self._model.ready
+
+    @property
+    def windows_per_week(self) -> int:
+        return 7 * 24 // self.window_hours
+
+    @property
+    def windows_per_day(self) -> int:
+        return 24 // self.window_hours
+
+    def window_of_hour(self, hour_of_day: int) -> int:
+        if not 0 <= hour_of_day < 24:
+            raise ValueError("hour_of_day out of range")
+        return hour_of_day // self.window_hours
+
+    def observe(self, player_count: float) -> None:
+        """Record the realised player count of the closing window."""
+        self._model.observe(player_count)
+
+    def forecast_players(self) -> float:
+        """Predicted player count for the next window (Eq. 14)."""
+        return self._model.forecast()
+
+    def target_supernodes(self) -> int:
+        """Eq. 15 applied to the next window's forecast."""
+        predicted = self.forecast_players()
+        return max(self.minimum_supernodes,
+                   required_supernodes(predicted, self.average_capacity,
+                                       self.epsilon))
+
+    def deployment_worthwhile(self, supernode: Supernode,
+                              utilization: float = 0.6) -> bool:
+        """§3.1.2: deploy sn_j only when G_s(j) > 0 (Eq. 6).
+
+        The new players a candidate would cover are approximated by its
+        capacity.  Without a provider model every candidate passes.
+        """
+        if self.provider_model is None:
+            return True
+        return self.provider_model.deployment_is_worthwhile(
+            supernode.capacity, supernode.upload_mbps, utilization)
+
+    def choose_deployment(self, candidates: list[Supernode], count: int,
+                          rng: np.random.Generator) -> list[Supernode]:
+        """Eq. 16 preference selection over economically viable
+        candidates (Eq. 6 gate first, 1/rank preference second)."""
+        viable = [sn for sn in candidates if self.deployment_worthwhile(sn)]
+        ranked = sorted(viable, key=lambda sn: -sn.supported_total)
+        picked_ids = rank_preference_selection(
+            [sn.supernode_id for sn in ranked], count, rng)
+        by_id = {sn.supernode_id: sn for sn in viable}
+        return [by_id[sn_id] for sn_id in picked_ids]

@@ -1,0 +1,180 @@
+"""Reputation-based supernode selection — §3.2.
+
+The protocol, exactly as the paper lays it out:
+
+1. The cloud keeps a table of supernodes (IP → coordinates, available
+   capacity).  A joining player asks the cloud, which returns a number
+   of *physically close* supernodes with available capacity
+   (:class:`SupernodeDirectory`).
+2. The player measures transmission delay to each candidate and drops
+   those above its threshold ``L_max`` — derived from its game genre's
+   response-latency requirement.
+3. The survivors are ordered by the player's own Eq.-7 reputation score
+   (descending); the player asks each in turn whether it still has
+   capacity and connects to the first that does.  CloudFog/B skips the
+   reputation ordering and picks randomly among the qualified survivors.
+4. No survivor ⇒ the player connects to the cloud directly.
+
+The selection also reports a modelled *join latency* (Fig. 9): one RTT
+to the cloud for the candidate list, one parallel probe round (the
+slowest candidate's RTT) and the connect handshake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.latency import PLAYOUT_PROCESSING_MS
+from ..network.topology import Topology
+from ..reputation.scores import ReputationTable
+from .entities import Supernode
+
+__all__ = ["SupernodeDirectory", "SelectionOutcome", "select_supernode",
+           "delay_threshold_ms"]
+
+
+#: Margin reserved for serialisation, jitter and server interaction when
+#: deriving a delay threshold from a game's delivery deadline.
+DELIVERY_MARGIN_MS = 12.0
+
+
+def delay_threshold_ms(game_requirement_ms: float,
+                       margin_ms: float = DELIVERY_MARGIN_MS) -> float:
+    """L_max for a player: the one-way probe budget of its game.
+
+    §3.2.1: the threshold "is determined based on the response latency
+    requirement of the genre of its game".  A supernode qualifies when
+    its one-way transmission delay leaves room inside the game's
+    delivery deadline for serialisation, jitter and server-interaction
+    latency (the margin).  Strict games end up accepting only very close
+    supernodes, exactly the Fig. 4 coverage behaviour.
+    """
+    if game_requirement_ms <= 0:
+        raise ValueError("game requirement must be positive")
+    if margin_ms < 0:
+        raise ValueError("margin must be non-negative")
+    return max(5.0, game_requirement_ms - margin_ms)
+
+
+class SupernodeDirectory:
+    """The cloud's supernode table: locations and available capacities."""
+
+    def __init__(self, topology: Topology, supernodes: list[Supernode]):
+        self.topology = topology
+        self.supernodes = supernodes
+        self._coords = np.array([[sn.x_km, sn.y_km] for sn in supernodes],
+                                dtype=np.float64).reshape(len(supernodes), 2)
+        self._access = np.array([sn.access_ms for sn in supernodes],
+                                dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.supernodes)
+
+    def rebuild(self, supernodes: list[Supernode]) -> None:
+        """Replace the supernode set (dynamic provisioning re-deploys)."""
+        self.__init__(self.topology, supernodes)
+
+    def candidates_for(self, player: int, count: int) -> list[Supernode]:
+        """The ``count`` closest supernodes with free capacity."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        available = [i for i, sn in enumerate(self.supernodes)
+                     if sn.has_capacity]
+        if not available:
+            return []
+        coords = self._coords[available]
+        deltas = coords - self.topology.player_coords[player][None, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=1))
+        order = np.argsort(distances)[:count]
+        return [self.supernodes[available[int(i)]] for i in order]
+
+    def probe_delays_ms(self, player: int,
+                        candidates: list[Supernode]) -> np.ndarray:
+        """One-way transmission delays from the player to each candidate."""
+        if not candidates:
+            return np.empty(0, dtype=np.float64)
+        coords = np.array([[sn.x_km, sn.y_km] for sn in candidates])
+        access = np.array([sn.access_ms for sn in candidates])
+        return self.topology.players_to_points_one_way_ms(
+            np.array([player]), coords, access)[0]
+
+
+@dataclass(frozen=True)
+class SelectionOutcome:
+    """Result of one player's supernode selection.
+
+    ``supernode_id`` is the *global* supernode id (stable across
+    provisioning redeployments), not a directory index.  ``qualified``
+    lists every candidate that passed the delay filter — the player
+    remembers them as its §3.2.2 candidate supernode list.
+    """
+
+    supernode_id: int | None          # None => fall back to the cloud
+    downstream_one_way_ms: float
+    join_latency_ms: float
+    candidates_probed: int
+    qualified: tuple[tuple[int, float], ...] = ()
+
+    @property
+    def used_cloud(self) -> bool:
+        return self.supernode_id is None
+
+
+def select_supernode(
+    player: int,
+    directory: SupernodeDirectory,
+    l_max_ms: float,
+    rng: np.random.Generator,
+    reputation: ReputationTable | None = None,
+    candidate_count: int = 8,
+    cloud_rtt_ms: float = 60.0,
+    handshake_ms: float = 10.0,
+) -> SelectionOutcome:
+    """Run the full §3.2 selection for one player.
+
+    ``reputation`` None reproduces CloudFog/B's random pick among the
+    qualified candidates; otherwise candidates are tried in descending
+    Eq.-7 score order (ties keep the delay ordering, so cold-start
+    players effectively prefer closer supernodes).
+    """
+    if l_max_ms <= 0:
+        raise ValueError("l_max_ms must be positive")
+    candidates = directory.candidates_for(player, candidate_count)
+    delays = directory.probe_delays_ms(player, candidates)
+
+    join_latency = cloud_rtt_ms
+    if candidates:
+        join_latency += 2.0 * float(delays.max())  # parallel probe RTTs
+
+    qualified = [(sn, float(delay))
+                 for sn, delay in zip(candidates, delays)
+                 if delay <= l_max_ms]
+    qualified_ids = tuple((sn.supernode_id, delay)
+                          for sn, delay in qualified)
+    if not qualified:
+        return SelectionOutcome(None, 0.0, join_latency, len(candidates))
+
+    if reputation is not None:
+        # Descending reputation; delay breaks ties so cold-start players
+        # effectively prefer closer supernodes.
+        ordered = sorted(
+            qualified,
+            key=lambda item: (-reputation.score(
+                player, item[0].supernode_id), item[1]))
+    else:
+        indices = rng.permutation(len(qualified))
+        ordered = [qualified[int(i)] for i in indices]
+
+    # Sequential capacity ask (§3.2.2): a candidate may have filled up
+    # between the cloud's answer and now.
+    for supernode, delay in ordered:
+        if supernode.has_capacity:
+            supernode.connect(player)
+            join_latency += handshake_ms + delay
+            return SelectionOutcome(supernode.supernode_id, delay,
+                                    join_latency, len(candidates),
+                                    qualified_ids)
+    return SelectionOutcome(None, 0.0, join_latency, len(candidates),
+                            qualified_ids)

@@ -1,0 +1,872 @@
+"""The CloudFog system: full joint simulation of one gaming deployment.
+
+This is the paper's evaluation engine.  One :class:`CloudFogSystem`
+instance materialises a population, an infrastructure (fog supernodes,
+plain cloud, or a CDN baseline) and runs the §4.1 cycle schedule:
+28 one-day cycles of 24 hourly subcycles, 3 warm-up weeks, nightly peak
+at subcycles 20–24.  Each day:
+
+1. supernodes re-roll their throttling behaviour (§4.1 settings);
+2. every participating player gets a day plan (start subcycle, duration)
+   and chooses a game socially (§4.1 rule);
+3. a subcycle sweep runs joins (supernode selection, §3.2) and leaves,
+   tracking per-supernode load timelines;
+4. per-session QoS is computed from the network substrate;
+5. players rate their supernodes with the session continuity and the
+   reputation tables refresh;
+6. cloud bandwidth is accounted per subcycle: Λ per serving supernode
+   plus the full stream rate per cloud-direct player (Eq. 2).
+
+Weekly, players are (re-)assigned to datacenter servers — randomly or
+socially (§3.4).  Per provisioning window the live supernode set is
+either fixed (CloudFog/B) or forecast-driven (§3.5).
+
+Latency semantics (documented in DESIGN.md): a game's Table-2 latency
+requirement is the *delivery deadline* of each video packet — packet
+delay = downstream path latency + serialisation + server-interaction
+latency; continuity and satisfaction are judged against it (§4.1's
+"packets arrived within the required response latency").  The *response
+latency* metric of Fig. 7 is the full action-to-photon path: upstream
+action leg + packet delivery + the fixed 20 ms playout/processing share.
+
+Randomness is split into named per-day streams (plans, games, throttle,
+selection, QoS) so that two systems with the same seed see *identical*
+workloads — baseline comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cloud.datacenter import Datacenter
+from ..cloud.gamestate import UPDATE_MESSAGE_BITS_PER_SUPERNODE
+from ..economics.ledger import CreditLedger
+from ..network.bandwidth import BandwidthModel
+from ..network.latency import PLAYOUT_PROCESSING_MS
+from ..network.transport import PathSpec, TransportModel
+from ..reputation.ratings import RatingLedger
+from ..reputation.scores import ReputationTable
+from ..sim.rng import RngFactory
+from ..streaming.compression import LIVERENDER_LIKE
+from ..streaming.continuity import satisfied_ratio
+from ..streaming.session import SessionConfig, estimate_continuity
+from ..workload.churn import (
+    DurationMixture,
+    PlayerDayPlan,
+    StartTimeModel,
+    sample_day_plans,
+)
+from ..workload.games import Game, random_game
+from ..workload.population import Population, build_population, choose_game
+from .candidates import CandidateManager
+from .config import SystemConfig
+from .entities import ConnectionKind, Supernode
+from .provisioning import Provisioner
+from .selection import SupernodeDirectory, delay_threshold_ms, select_supernode
+from .server_assignment import assign_players_randomly, assign_players_socially
+
+__all__ = ["SessionRecord", "DayMetrics", "RunResult", "CloudFogSystem"]
+
+#: Failure-detection timeout before a migration starts (periodic probing
+#: of the supernode, §3.2.2); dominates the ~0.8 s migration latency.
+FAILURE_DETECTION_MS = 500.0
+
+#: Cloud egress budget per datacenter for direct video streaming
+#: (Mbit/s).  Sized for the reduced-scale populations the benches run
+#: (thousands of players): past it the cloud's links congest, which is
+#: the mechanism behind the baselines' degradation as players grow
+#: (Figs. 7-8).  Scale it together with num_players for larger runs.
+DEFAULT_DC_EGRESS_MBPS = 150.0
+
+#: Headroom factor on the per-stream egress share the cloud/CDN
+#: provisions for one flow.  Cloud-gaming egress is the dominant cost
+#: (§1: ~$300k/month at 27 TB/12h), so providers provision per-stream
+#: shares tightly — the stream's bitrate plus modest headroom.
+CLOUD_FLOW_HEADROOM = 1.25
+
+#: Floor on the per-stream share (Mbit/s), so low-bitrate games still
+#: get a usable slice.
+CLOUD_FLOW_SHARE_FLOOR_MBPS = 0.5
+
+#: Coordination penalty when CDN sites cooperate on game state (§4.2:
+#: "the servers need to cooperate with each other to compute new game
+#: status").  Unlike intra-datacenter server hops this crosses the WAN
+#: between edge sites, which is what keeps CDN's latency improvement
+#: modest in the paper.
+CDN_COORDINATION_MS = 35.0
+
+#: Upload provisioned per supernode player slot (Mbit/s): enough for the
+#: top Table-2 level on one stream plus headroom across slots.
+SUPERNODE_MBPS_PER_SLOT = 3.0
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """QoS outcome of one player-day session."""
+
+    player: int
+    day: int
+    game: str
+    kind: ConnectionKind
+    target: int
+    response_latency_ms: float
+    server_latency_ms: float
+    continuity: float
+    satisfied: bool
+    join_latency_ms: float | None  # None when the sticky connection held
+
+
+@dataclass
+class DayMetrics:
+    """Aggregates of one measured day."""
+
+    day: int
+    online_players: int = 0
+    supernode_players: int = 0
+    cloud_players: int = 0
+    cloud_bandwidth_mbps: float = 0.0
+    mean_response_latency_ms: float = 0.0
+    mean_server_latency_ms: float = 0.0
+    mean_continuity: float = 0.0
+    satisfied_ratio: float = 0.0
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced (measured days only)."""
+
+    days: list[DayMetrics] = field(default_factory=list)
+    sessions: list[SessionRecord] = field(default_factory=list)
+    join_latencies_ms: list[float] = field(default_factory=list)
+    supernode_join_latencies_ms: list[float] = field(default_factory=list)
+    migration_latencies_ms: list[float] = field(default_factory=list)
+    assignment_wall_times_s: list[float] = field(default_factory=list)
+
+    def _measured(self) -> list[DayMetrics]:
+        if not self.days:
+            raise ValueError("the run produced no measured days")
+        return self.days
+
+    @property
+    def mean_response_latency_ms(self) -> float:
+        return float(np.mean(
+            [d.mean_response_latency_ms for d in self._measured()]))
+
+    @property
+    def mean_server_latency_ms(self) -> float:
+        return float(np.mean(
+            [d.mean_server_latency_ms for d in self._measured()]))
+
+    @property
+    def mean_continuity(self) -> float:
+        return float(np.mean([d.mean_continuity for d in self._measured()]))
+
+    @property
+    def mean_satisfied_ratio(self) -> float:
+        return float(np.mean([d.satisfied_ratio for d in self._measured()]))
+
+    @property
+    def mean_cloud_bandwidth_mbps(self) -> float:
+        return float(np.mean(
+            [d.cloud_bandwidth_mbps for d in self._measured()]))
+
+    @property
+    def supernode_coverage(self) -> float:
+        """Share of online players served by supernodes."""
+        days = self._measured()
+        online = sum(d.online_players for d in days)
+        if online == 0:
+            return 0.0
+        return sum(d.supernode_players for d in days) / online
+
+    def summary_table(self):
+        """The headline metrics as a printable ResultTable."""
+        from ..metrics.tables import ResultTable
+
+        table = ResultTable("Run summary (measured days)",
+                            ["metric", "value"])
+        table.add_row("measured days", len(self._measured()))
+        table.add_row("mean online players", float(np.mean(
+            [d.online_players for d in self._measured()])))
+        table.add_row("supernode coverage", self.supernode_coverage)
+        table.add_row("mean response latency (ms)",
+                      self.mean_response_latency_ms)
+        table.add_row("mean continuity", self.mean_continuity)
+        table.add_row("satisfied ratio", self.mean_satisfied_ratio)
+        table.add_row("cloud bandwidth (Mbit/s)",
+                      self.mean_cloud_bandwidth_mbps)
+        return table
+
+
+@dataclass
+class _Session:
+    """Internal per-day session bookkeeping."""
+
+    plan: PlayerDayPlan
+    kind: ConnectionKind
+    supernode_id: int | None
+    downstream_one_way_ms: float
+    upstream_one_way_ms: float
+    join_latency_ms: float | None
+
+
+class CloudFogSystem:
+    """One deployed gaming system (CloudFog, Cloud or CDN)."""
+
+    def __init__(self, config: SystemConfig,
+                 population: Population | None = None) -> None:
+        self.config = config
+        self.rng_factory = RngFactory(config.seed)
+        self.supernode_join_latencies_ms: list[float] = []
+        rng = self.rng_factory.stream("population")
+        self.population = population or build_population(
+            rng, config.num_players, config.num_datacenters,
+            config.supernode_capable_share)
+        self.topology = self.population.topology
+        self.transport = TransportModel()
+
+        # LiveRender-style compression on direct cloud flows (§2).
+        self.compression = (LIVERENDER_LIKE if config.cloud_compression
+                            else None)
+
+        # Contributor credit accounting (§3.1.1 incentives).
+        self.credits = CreditLedger()
+
+        # Reputation state.  Unrated supernodes get an optimistic prior
+        # near an honest supernode's typical continuity, so players keep
+        # exploring (see ReputationTable's docstring / DESIGN.md).
+        self.ledger = RatingLedger()
+        self.reputation = ReputationTable(self.ledger, config.aging_factor,
+                                          neutral_prior=0.9)
+
+        # Game-state datacenters (server latency substrate).
+        self.datacenters = [
+            Datacenter(i, num_servers=config.servers_per_datacenter)
+            for i in range(config.num_datacenters)]
+        self._nearest_dc = np.argmin(
+            self.topology.player_datacenter_distances(), axis=1)
+
+        # Infrastructure by mode.
+        self.supernode_pool: list[Supernode] = []
+        self.live_supernodes: list[Supernode] = []
+        self.directory: SupernodeDirectory | None = None
+        self.cdn_coords = np.empty((0, 2))
+        self.cdn_access = np.empty(0)
+        if config.mode == "cloudfog":
+            self._build_supernode_pool()
+            count = min(config.num_supernodes, len(self.supernode_pool))
+            self._deploy(self.supernode_pool[:count])
+        elif config.mode == "cdn":
+            self._build_cdn_sites()
+
+        # Provisioner (dynamic provisioning strategy only).
+        self.provisioner: Provisioner | None = None
+        if (config.mode == "cloudfog"
+                and config.strategies.dynamic_provisioning
+                and self.supernode_pool):
+            mean_capacity = float(np.mean(
+                [sn.capacity for sn in self.supernode_pool]))
+            self.provisioner = Provisioner(
+                average_capacity=mean_capacity,
+                epsilon=config.provisioning_epsilon,
+                window_hours=config.provisioning_window_hours)
+
+        #: Day-of-week participation weights (set by set_arrival_rates).
+        self._weekly_weights = None
+
+        # Churn state (§3.2.2): per-player candidate supernode lists
+        # plus the sticky last-used supernode.
+        self.candidates = CandidateManager(
+            max_entries=config.candidate_count)
+        self._sticky: dict[int, int] = {}
+        self._games: dict[int, Game] = {}
+        self._duration_mixture = DurationMixture()
+        self._start_times = StartTimeModel()
+        #: Optional override of daily participants (provisioning sweeps).
+        self.daily_participants: int | None = None
+        self._server_latency_cache: dict[int, float] = {}
+
+    def set_arrival_rates(self, offpeak_per_min: float,
+                          peak_per_min: float) -> None:
+        """Drive daily participation from arrival rates (Figs. 13-15).
+
+        Off-peak joiners arrive over 19 subcycles, peak joiners over 5;
+        the start-time split follows from the two rates.
+        """
+        if offpeak_per_min < 0 or peak_per_min < 0:
+            raise ValueError("arrival rates must be non-negative")
+        offpeak_total = offpeak_per_min * 60.0 * 19.0
+        peak_total = peak_per_min * 60.0 * 5.0
+        total = offpeak_total + peak_total
+        if total <= 0:
+            raise ValueError("at least one arrival rate must be positive")
+        self.daily_participants = int(round(total))
+        self._start_times = StartTimeModel(
+            offpeak_share=offpeak_total / total)
+        # Arrival-driven participation follows the weekly pattern the
+        # paper's forecasting premise rests on ([36, 37]): weekends run
+        # hotter, midweek cooler.
+        from ..forecast.diurnal import DiurnalPattern
+        self._weekly_weights = DiurnalPattern().daily_weights
+
+    # ------------------------------------------------------------------
+    # infrastructure construction
+    # ------------------------------------------------------------------
+    def _build_supernode_pool(self) -> None:
+        """Create supernode entities for the qualified capable players.
+
+        §3.1.1: "The nodes with sufficient hardware are chosen as
+        supernodes" — a contributor's GPU must render several streams
+        at once (integrated graphics do not qualify), and the player
+        capacity is the tighter of the bandwidth-derived Pareto draw
+        and the machine's render budget.  Capacity overrides (the
+        Fig. 10/11 sweeps) bypass the render limit by design.
+        """
+        from ..rendering.capability import RenderCapability, sample_gpu_tiers
+
+        rng = self.rng_factory.stream("supernodes")
+        model = BandwidthModel()
+        capable = self.population.capable_players()
+        hosts = capable[rng.permutation(len(capable))]
+        tiers = sample_gpu_tiers(rng, len(hosts))
+        if self.config.supernode_capacity_override is not None:
+            capacities = np.full(len(hosts),
+                                 self.config.supernode_capacity_override,
+                                 dtype=np.int64)
+        else:
+            capacities = model.sample_supernode_capacities(rng, len(hosts))
+        sn_id = 0
+        for host, capacity, tier in zip(hosts, capacities, tiers):
+            host = int(host)
+            render = RenderCapability(tier)
+            if self.config.supernode_capacity_override is None:
+                if not render.meets_supernode_requirement():
+                    continue
+                capacity = min(int(capacity), render.render_capacity())
+            # Supernodes have superior connections (§3.1.1): access delay
+            # is the better of the host's last mile and a business line.
+            access = float(min(self.topology.player_access_ms[host], 8.0))
+            upload = (self.config.supernode_upload_override_mbps
+                      if self.config.supernode_upload_override_mbps is not None
+                      else float(capacity) * SUPERNODE_MBPS_PER_SLOT)
+            self.supernode_pool.append(Supernode(
+                supernode_id=sn_id,
+                host_player=host,
+                capacity=int(capacity),
+                upload_mbps=float(upload),
+                access_ms=access,
+                x_km=float(self.topology.player_coords[host, 0]),
+                y_km=float(self.topology.player_coords[host, 1]),
+                gpu_tier=tier,
+            ))
+            sn_id += 1
+        # Designate the §4.1 throttling classes over the whole pool.
+        n = len(self.supernode_pool)
+        n80 = int(n * self.config.throttle_80_share)
+        n50 = int(n * self.config.throttle_50_share)
+        marked = rng.permutation(n)
+        for index in marked[:n80]:
+            self.supernode_pool[int(index)].throttle_class = 0.8
+        for index in marked[n80:n80 + n50]:
+            self.supernode_pool[int(index)].throttle_class = 0.5
+
+    def _deploy(self, supernodes: list[Supernode]) -> None:
+        """Set the live supernode set and rebuild the cloud's table."""
+        live_ids = {sn.supernode_id for sn in supernodes}
+        for sn in self.supernode_pool:
+            sn.online = sn.supernode_id in live_ids
+        self.live_supernodes = list(supernodes)
+        self._live_ids = live_ids
+        if self.directory is None:
+            self.directory = SupernodeDirectory(self.topology,
+                                                self.live_supernodes)
+        else:
+            self.directory.rebuild(self.live_supernodes)
+        # Supernode join latency: one RTT to the cloud + registration.
+        for sn in supernodes:
+            rtt = 2.0 * self.topology.nearest_datacenter_one_way_ms(
+                sn.host_player)
+            self.supernode_join_latencies_ms.append(rtt + 20.0)
+
+    def _build_cdn_sites(self) -> None:
+        """CDN baseline: k edge sites at random player locations."""
+        rng = self.rng_factory.stream("cdn")
+        count = min(self.config.num_cdn_servers, self.topology.num_players)
+        picks = rng.choice(self.topology.num_players, size=count,
+                           replace=False)
+        self.cdn_coords = self.topology.player_coords[picks].copy()
+        self.cdn_access = np.full(count, 3.0)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def run(self, days: int | None = None) -> RunResult:
+        """Run the configured schedule and return measured-day results.
+
+        Execution goes through the PeerSim-style
+        :class:`~repro.sim.cycles.CycleScheduler`: each cycle (day)
+        fires as a day-start hook — exactly the paper's cycle-driven
+        execution model.  Short runs always measure at least the final
+        day.
+        """
+        from ..sim.cycles import CycleScheduler, Schedule
+
+        schedule = self.config.schedule
+        total_days = schedule.days if days is None else days
+        if total_days <= 0:
+            raise ValueError(f"days must be positive, got {total_days}")
+        result = RunResult()
+        result.supernode_join_latencies_ms = list(
+            self.supernode_join_latencies_ms)
+        warmup = min(schedule.warmup_days, max(0, total_days - 1))
+
+        driver = CycleScheduler(schedule=Schedule(
+            days=total_days,
+            hours_per_day=schedule.hours_per_day,
+            warmup_days=warmup,
+            peak_subcycles=schedule.peak_subcycles))
+        driver.on_day_start(
+            lambda day: self.run_day(day, result, measuring=day >= warmup))
+        driver.run()
+        return result
+
+    # ------------------------------------------------------------------
+    # one day
+    # ------------------------------------------------------------------
+    def run_day(self, day: int, result: RunResult, measuring: bool) -> None:
+        config = self.config
+
+        # (1) Throttle re-roll (its own stream: does not shift workloads).
+        throttle_rng = self.rng_factory.stream(f"throttle-{day}")
+        for sn in self.supernode_pool:
+            sn.roll_throttle(throttle_rng, config.throttle_probability)
+
+        # (Weekly) server assignment.
+        if day % 7 == 0:
+            self._run_server_assignment(
+                self.rng_factory.stream(f"assignment-{day}"), result)
+
+        # (2) Day plans and social game choice (paired across systems).
+        plans = self._sample_plans(self.rng_factory.stream(f"plans-{day}"),
+                                   day=day)
+        self._choose_games(plans, self.rng_factory.stream(f"games-{day}"))
+
+        # (3) Subcycle sweep.
+        selection_rng = self.rng_factory.stream(f"selection-{day}")
+        sessions, count_loads, rate_loads, cloud_rate = self._sweep_day(
+            plans, selection_rng, result, measuring)
+
+        # (4)+(5) Per-session QoS and ratings.
+        qos_rng = self.rng_factory.stream(f"qos-{day}")
+        records = self._score_sessions(day, sessions, count_loads,
+                                       rate_loads, cloud_rate, qos_rng)
+        for record in records:
+            if record.kind is ConnectionKind.SUPERNODE:
+                self.ledger.add(record.player, record.target,
+                                record.continuity, day)
+        for player in {r.player for r in records
+                       if r.kind is ConnectionKind.SUPERNODE}:
+            self.reputation.refresh(player, today=day)
+
+        # (5b) Credit the contributors: one hour at rate r Mbit/s is
+        # r * 0.45 GB; a live supernode is online the whole day.
+        for sn in self.live_supernodes:
+            loads = rate_loads.get(sn.supernode_id)
+            gb = float(loads[1:25].sum()) * 0.45 if loads is not None else 0.0
+            self.credits.record_day(sn.supernode_id, gb, hours_online=24.0)
+
+        # (6) Provisioning windows.
+        if self.provisioner is not None:
+            self._run_provisioning(
+                plans, self.rng_factory.stream(f"provision-{day}"))
+
+        if measuring and records:
+            metrics = DayMetrics(day=day)
+            metrics.online_players = len(records)
+            metrics.supernode_players = sum(
+                1 for r in records if r.kind is ConnectionKind.SUPERNODE)
+            metrics.cloud_players = sum(
+                1 for r in records if r.kind is ConnectionKind.CLOUD)
+            metrics.cloud_bandwidth_mbps = self._cloud_bandwidth(
+                cloud_rate, count_loads)
+            metrics.mean_response_latency_ms = float(np.mean(
+                [r.response_latency_ms for r in records]))
+            metrics.mean_server_latency_ms = float(np.mean(
+                [r.server_latency_ms for r in records]))
+            metrics.mean_continuity = float(np.mean(
+                [r.continuity for r in records]))
+            metrics.satisfied_ratio = satisfied_ratio(
+                [r.continuity for r in records])
+            result.days.append(metrics)
+            result.sessions.extend(records)
+
+    # -- plans / games -------------------------------------------------------
+    def _sample_plans(self, rng: np.random.Generator,
+                      day: int = 0) -> list[PlayerDayPlan]:
+        n = self.topology.num_players
+        if self.daily_participants is not None:
+            weight = 1.0
+            if getattr(self, "_weekly_weights", None) is not None:
+                weight = float(self._weekly_weights[day % 7])
+            count = min(n, int(round(self.daily_participants * weight)))
+            players = rng.choice(n, size=max(1, count), replace=False)
+        else:
+            players = np.arange(n)
+        return sample_day_plans(rng, players, self._duration_mixture,
+                                self._start_times)
+
+    def _choose_games(self, plans: list[PlayerDayPlan],
+                      rng: np.random.Generator) -> None:
+        self._games.clear()
+        for index in rng.permutation(len(plans)):
+            plan = plans[int(index)]
+            self._games[plan.player] = choose_game(
+                plan.player, self.population.friends, self._games, rng)
+
+    # -- the subcycle sweep ----------------------------------------------
+    def _sweep_day(self, plans, rng, result, measuring):
+        """Process joins/leaves hour by hour; build load timelines."""
+        hours = self.config.schedule.hours_per_day
+        starts: dict[int, list[PlayerDayPlan]] = {}
+        for plan in plans:
+            starts.setdefault(min(plan.start_subcycle, hours), []).append(plan)
+
+        sessions: dict[int, _Session] = {}
+        ends: dict[int, list[int]] = {}
+        count_loads = {sn.supernode_id: np.zeros(hours + 2)
+                       for sn in self.live_supernodes}
+        rate_loads = {sn.supernode_id: np.zeros(hours + 2)
+                      for sn in self.live_supernodes}
+        cloud_rate = np.zeros(hours + 2)
+
+        for subcycle in range(1, hours + 1):
+            for player in ends.pop(subcycle, []):
+                session = sessions.get(player)
+                if session is not None and session.supernode_id is not None:
+                    self.supernode_pool[session.supernode_id].disconnect(player)
+            for plan in starts.pop(subcycle, []):
+                session = self._join(plan, rng)
+                sessions[plan.player] = session
+                end = min(hours,
+                          subcycle + int(np.ceil(plan.duration_hours)) - 1)
+                ends.setdefault(end + 1, []).append(plan.player)
+                game = self._games[plan.player]
+                span = slice(subcycle, end + 1)
+                if session.supernode_id is not None:
+                    count_loads[session.supernode_id][span] += 1
+                    rate_loads[session.supernode_id][span] += \
+                        game.stream_rate_mbps
+                elif session.kind is ConnectionKind.CLOUD:
+                    rate = game.stream_rate_mbps
+                    if self.compression is not None:
+                        rate = self.compression.compressed_mbps(rate)
+                    cloud_rate[span] += rate
+                if measuring and session.join_latency_ms is not None:
+                    result.join_latencies_ms.append(session.join_latency_ms)
+        # Disconnect everything at day end (cycles do not wrap, §4.1).
+        for player, session in sessions.items():
+            if session.supernode_id is not None:
+                self.supernode_pool[session.supernode_id].disconnect(player)
+        return sessions, count_loads, rate_loads, cloud_rate
+
+    def _join(self, plan: PlayerDayPlan, rng: np.random.Generator) -> _Session:
+        """Connect one starting session to its video source."""
+        player = plan.player
+        game = self._games[player]
+
+        if self.config.mode == "cdn":
+            return self._join_cdn(plan, game)
+        if (self.config.mode != "cloudfog" or self.directory is None
+                or not self.live_supernodes):
+            upstream = self._cloud_one_way_ms(player)
+            return _Session(plan, ConnectionKind.CLOUD, None, upstream,
+                            upstream, None)
+
+        upstream = self._cloud_one_way_ms(player)
+        l_max = delay_threshold_ms(game.latency_requirement_ms)
+
+        # Sticky connection: reuse yesterday's supernode when still valid.
+        # With reputation-based selection enabled, players re-select every
+        # session using their scores instead (§3.2.2) — otherwise a player
+        # would stay glued to a misbehaving supernode forever.
+        sticky_id = (None if self.config.strategies.reputation_selection
+                     else self._sticky.get(player))
+        if sticky_id is not None:
+            sn = self.supernode_pool[sticky_id]
+            if sn.online and sn.has_capacity:
+                delay = self._player_supernode_ms(player, sn)
+                if delay <= l_max:
+                    sn.connect(player)
+                    return _Session(plan, ConnectionKind.SUPERNODE, sticky_id,
+                                    delay, upstream, None)
+
+        reputation = (self.reputation
+                      if self.config.strategies.reputation_selection else None)
+        outcome = select_supernode(
+            player, self.directory, l_max, rng, reputation=reputation,
+            candidate_count=self.config.candidate_count,
+            cloud_rtt_ms=2.0 * upstream)
+        if outcome.qualified:
+            self.candidates.remember(player, list(outcome.qualified))
+        if outcome.supernode_id is not None:
+            self._sticky[player] = outcome.supernode_id
+            return _Session(plan, ConnectionKind.SUPERNODE,
+                            outcome.supernode_id,
+                            outcome.downstream_one_way_ms, upstream,
+                            outcome.join_latency_ms)
+        return _Session(plan, ConnectionKind.CLOUD, None, upstream, upstream,
+                        outcome.join_latency_ms)
+
+    def _join_cdn(self, plan: PlayerDayPlan, game: Game) -> _Session:
+        """CDN baseline: the nearest edge site serves everything if it
+        meets the game's delivery deadline; otherwise fall back to the
+        cloud (the CDN's user-coverage limit)."""
+        player = plan.player
+        delays = self.topology.players_to_points_one_way_ms(
+            np.array([player]), self.cdn_coords, self.cdn_access)[0]
+        site = int(np.argmin(delays))
+        site_delay = float(delays[site])
+        l_max = delay_threshold_ms(game.latency_requirement_ms)
+        if 2.0 * site_delay <= l_max:
+            return _Session(plan, ConnectionKind.CDN, None, site_delay,
+                            site_delay, None)
+        upstream = self._cloud_one_way_ms(player)
+        return _Session(plan, ConnectionKind.CLOUD, None, upstream, upstream,
+                        None)
+
+    # -- latency helpers ---------------------------------------------------
+    def _cloud_one_way_ms(self, player: int) -> float:
+        return self.topology.nearest_datacenter_one_way_ms(player)
+
+    def _player_supernode_ms(self, player: int, sn: Supernode) -> float:
+        distance = float(np.hypot(
+            self.topology.player_coords[player, 0] - sn.x_km,
+            self.topology.player_coords[player, 1] - sn.y_km))
+        return float(self.topology.latency_model.one_way_ms(
+            distance, self.topology.player_access_ms[player], sn.access_ms))
+
+    # -- session scoring -----------------------------------------------------
+    def _score_sessions(self, day, sessions, count_loads, rate_loads,
+                        cloud_rate, rng) -> list[SessionRecord]:
+        records = []
+        hours = self.config.schedule.hours_per_day
+        budget = self._cloud_egress_budget()
+        for player, session in sessions.items():
+            game = self._games[player]
+            plan = session.plan
+            start = min(plan.start_subcycle, hours)
+            end = min(hours, start + int(np.ceil(plan.duration_hours)) - 1)
+
+            if session.supernode_id is not None:
+                sn = self.supernode_pool[session.supernode_id]
+                counts = count_loads[session.supernode_id][start:end + 1]
+                rates = rate_loads[session.supernode_id][start:end + 1]
+                mean_count = max(1.0, float(counts.mean()))
+                mean_rate = float(rates.mean())
+                effective_upload = sn.upload_mbps * sn.throttle
+                utilization = min(2.0, mean_rate / effective_upload)
+                share = effective_upload / mean_count
+                target = session.supernode_id
+            else:
+                concurrent = float(cloud_rate[start:end + 1].mean())
+                utilization = min(2.0, concurrent / budget)
+                share = max(CLOUD_FLOW_SHARE_FLOOR_MBPS,
+                            CLOUD_FLOW_HEADROOM * game.stream_rate_mbps)
+                target = int(self._nearest_dc[player])
+
+            server_latency = self._server_latency_ms(player, session.kind)
+            encode_ms = 0.0
+            if (self.compression is not None
+                    and session.supernode_id is None):
+                encode_ms = self.compression.encode_latency_ms
+            path = PathSpec(
+                one_way_latency_ms=session.downstream_one_way_ms,
+                sender_share_mbps=max(0.05, share),
+                receiver_download_mbps=float(
+                    self.topology.player_links.download_mbps[player]))
+            # Continuity deadline: the game's Table-2 requirement applied
+            # to packet delivery on the downstream path.  Server
+            # interaction pipelines with rendering, so it affects the
+            # response metric but not per-packet delivery.
+            session_config = SessionConfig(
+                response_budget_ms=game.latency_requirement_ms,
+                tolerance=game.tolerance,
+                path=path,
+                upstream_one_way_ms=0.0,
+                processing_ms=encode_ms,
+                sender_utilization=utilization,
+                duration_s=60.0,
+                adaptive=self.config.strategies.rate_adaptation,
+            )
+            outcome = estimate_continuity(session_config, rng, self.transport,
+                                          n_samples=64)
+            response = (session.upstream_one_way_ms
+                        + outcome.mean_response_latency_ms
+                        + server_latency + PLAYOUT_PROCESSING_MS)
+            records.append(SessionRecord(
+                player=player, day=day, game=game.name, kind=session.kind,
+                target=target,
+                response_latency_ms=response,
+                server_latency_ms=server_latency,
+                continuity=outcome.continuity,
+                satisfied=outcome.satisfied,
+                join_latency_ms=session.join_latency_ms,
+            ))
+        return records
+
+    def _cloud_egress_budget(self) -> float:
+        """Total egress budget of the direct-streaming links (Mbit/s)."""
+        if self.config.mode == "cdn":
+            return max(1, len(self.cdn_coords)) * DEFAULT_DC_EGRESS_MBPS
+        return self.config.num_datacenters * DEFAULT_DC_EGRESS_MBPS
+
+    def _server_latency_ms(self, player: int, kind: ConnectionKind) -> float:
+        """Interaction (server) latency for a player this epoch."""
+        if kind is ConnectionKind.CDN:
+            return CDN_COORDINATION_MS
+        return self._server_latency_cache.get(
+            player, self.datacenters[0].hop_ms)
+
+    # -- server assignment ---------------------------------------------------
+    def _run_server_assignment(self, rng: np.random.Generator,
+                               result: RunResult) -> None:
+        if self.config.mode == "cdn":
+            return
+        players_by_dc: dict[int, list[int]] = {}
+        for player in range(self.topology.num_players):
+            players_by_dc.setdefault(
+                int(self._nearest_dc[player]), []).append(player)
+        self._server_latency_cache.clear()
+        total_wall = 0.0
+        for dc_index, players in players_by_dc.items():
+            datacenter = self.datacenters[dc_index]
+            if self.config.strategies.social_assignment:
+                assignment = assign_players_socially(
+                    datacenter, players, self.population.friends, rng)
+            else:
+                assignment = assign_players_randomly(datacenter, players, rng)
+            total_wall += assignment.wall_time_s
+            # Per-player expected server latency: share of its friends on
+            # other servers times the cross-server round trip.
+            for player in players:
+                friends = [f for f in self.population.friends.friends(player)
+                           if self._nearest_dc[f] == dc_index]
+                if not friends:
+                    self._server_latency_cache[player] = 0.0
+                    continue
+                crossing = sum(
+                    1 for f in friends
+                    if datacenter.server_of(f) != datacenter.server_of(player))
+                self._server_latency_cache[player] = (
+                    2.0 * datacenter.hop_ms * crossing / len(friends))
+        result.assignment_wall_times_s.append(total_wall)
+
+    # -- provisioning -------------------------------------------------------
+    def _run_provisioning(self, plans: list[PlayerDayPlan],
+                          rng: np.random.Generator) -> None:
+        """Observe per-window player counts; redeploy for the next window."""
+        assert self.provisioner is not None
+        hours = self.config.schedule.hours_per_day
+        window = self.provisioner.window_hours
+        for window_start in range(1, hours + 1, window):
+            window_end = min(hours, window_start + window - 1)
+            online = sum(
+                1 for plan in plans
+                if any(plan.online_at(s)
+                       for s in range(window_start, window_end + 1)))
+            self.provisioner.observe(online)
+            if self.provisioner.ready:
+                target = min(self.provisioner.target_supernodes(),
+                             len(self.supernode_pool))
+                chosen = self.provisioner.choose_deployment(
+                    self.supernode_pool, target, rng)
+                self._deploy(chosen)
+
+    # -- failures / migration --------------------------------------------
+    def fail_supernodes(self, count: int, rng: np.random.Generator
+                        ) -> list[float]:
+        """Fail ``count`` random live supernodes; reconnect their players.
+
+        Returns the migration latency of every displaced player: failure
+        detection + a fresh §3.2 selection.  No game state moves (the
+        cloud holds it), so migration stays sub-second.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if not self.live_supernodes:
+            return []
+        count = min(count, len(self.live_supernodes))
+        picks = rng.choice(len(self.live_supernodes), size=count,
+                           replace=False)
+        failed = [self.live_supernodes[int(i)] for i in picks]
+        latencies: list[float] = []
+        self.live_supernodes = [sn for sn in self.live_supernodes
+                                if sn not in failed]
+        orphan_sets = [(sn, sn.fail()) for sn in failed]
+        self.directory.rebuild(self.live_supernodes)
+        for sn, _ in orphan_sets:
+            self.candidates.forget_supernode(sn.supernode_id)
+        for sn, orphans in orphan_sets:
+            for player in orphans:
+                self._sticky.pop(player, None)
+                game = self._games.get(player) or random_game(rng)
+                l_max = delay_threshold_ms(game.latency_requirement_ms)
+                latencies.append(FAILURE_DETECTION_MS
+                                 + self._migrate(player, l_max, rng))
+        return latencies
+
+    def _migrate(self, player: int, l_max: float,
+                 rng: np.random.Generator) -> float:
+        """Reconnect a displaced player; return the reconnect latency.
+
+        §3.2.2: the player first walks its own candidate list (probe +
+        handshake, no cloud round trip); only if every remembered
+        candidate is gone or full does it ask the cloud again.
+        """
+        for entry in self.candidates.candidates(player):
+            if entry.supernode_id >= len(self.supernode_pool):
+                continue
+            candidate = self.supernode_pool[entry.supernode_id]
+            if (candidate.online and candidate.has_capacity
+                    and entry.delay_ms <= l_max):
+                candidate.connect(player)
+                self._sticky[player] = candidate.supernode_id
+                # Probe RTT + connect handshake, no cloud involvement.
+                return 2.0 * entry.delay_ms + 10.0 + entry.delay_ms
+        upstream = self._cloud_one_way_ms(player)
+        outcome = select_supernode(
+            player, self.directory, l_max, rng,
+            reputation=(self.reputation
+                        if self.config.strategies.reputation_selection
+                        else None),
+            candidate_count=self.config.candidate_count,
+            cloud_rtt_ms=2.0 * upstream)
+        if outcome.qualified:
+            self.candidates.remember(player, list(outcome.qualified))
+        if outcome.supernode_id is not None:
+            self._sticky[player] = outcome.supernode_id
+        return outcome.join_latency_ms
+
+    # -- bandwidth accounting --------------------------------------------
+    def _cloud_bandwidth(self, cloud_rate: np.ndarray,
+                         count_loads: dict[int, np.ndarray]) -> float:
+        """Mean cloud egress over the day's subcycles (Mbit/s).
+
+        CloudFog: Λ per supernode serving at least one player at that
+        subcycle plus the stream rate per cloud-direct player (Eq. 2's
+        Λ·m + (N−n)·R).  Cloud/CDN: the stream rate per cloud-served
+        player (a CDN's own edge egress is excluded, §4.2).
+        """
+        hours = self.config.schedule.hours_per_day
+        update_mbps = UPDATE_MESSAGE_BITS_PER_SUPERNODE / 1e6
+        per_subcycle = []
+        for subcycle in range(1, hours + 1):
+            bandwidth = float(cloud_rate[subcycle])
+            if self.config.mode == "cloudfog":
+                serving = sum(1 for loads in count_loads.values()
+                              if loads[subcycle] > 0)
+                bandwidth += update_mbps * serving
+            per_subcycle.append(bandwidth)
+        return float(np.mean(per_subcycle))

@@ -1,0 +1,24 @@
+"""Economics: supernode incentives (Eq. 1) and provider savings (Eqs. 2-6)."""
+
+from .incentives import IncentiveModel, SupernodeEconomics, daily_economics
+from .ledger import CreditLedger, SupernodeAccount
+from .provider import (
+    DATACENTER_BUILD_COST_USD,
+    EC2_GPU_INSTANCE_USD_PER_HOUR,
+    ProviderModel,
+    RentingComparison,
+    renting_comparison,
+)
+
+__all__ = [
+    "CreditLedger",
+    "SupernodeAccount",
+    "IncentiveModel",
+    "SupernodeEconomics",
+    "daily_economics",
+    "DATACENTER_BUILD_COST_USD",
+    "EC2_GPU_INSTANCE_USD_PER_HOUR",
+    "ProviderModel",
+    "RentingComparison",
+    "renting_comparison",
+]

@@ -1,0 +1,165 @@
+"""Game-service-provider economics — §3.1.2, Eqs. 2–6, Fig. 16(b).
+
+With N online players at stream rate R, m supernodes supporting n of the
+players, and Λ the update-message bandwidth per supernode:
+
+* bandwidth reduction vs plain cloud gaming (Eq. 2)::
+
+      B_r = N R - Λ m - (N - n) R = n R - Λ m
+
+* saved cost (Eq. 3, subject to the capacity constraints of Eqs. 4–5)::
+
+      C_g = c_c * (n R - Λ m) - c_s * B_s,   B_s = sum_j c_j u_j
+
+* revenue gain of deploying one more supernode covering ν new players
+  (Eq. 6)::
+
+      G_s(j) = c_c (ν R - Λ) - c_s c_j u_j
+
+§4.4 adds the EC2 comparison for Fig. 16(b): renting a g2.8xlarge GPU
+instance costs $2.60/hour versus rewarding a supernode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..cloud.gamestate import UPDATE_MESSAGE_BITS_PER_SUPERNODE
+from .incentives import IncentiveModel
+
+__all__ = ["ProviderModel", "RentingComparison", "renting_comparison",
+           "datacenter_expansion_cost_usd"]
+
+#: EC2 g2.8xlarge GPU instance, USD per hour (§4.4, [59]).
+EC2_GPU_INSTANCE_USD_PER_HOUR = 2.60
+
+#: Building a medium-size datacenter (~300k gross sq ft): ~$400 M (§4.2,
+#: [55, 56]).
+DATACENTER_BUILD_COST_USD = 400e6
+
+
+def datacenter_expansion_cost_usd(count: int) -> float:
+    """Capital cost of building ``count`` more datacenters.
+
+    §4.2's argument against scaling out the cloud: "it would cost
+    OnLive around 8 billion dollars to build 20 more datacenters;
+    however, 25 datacenters can only cover 60 % [of] players" — i.e.
+    count x $400 M.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return count * DATACENTER_BUILD_COST_USD
+
+
+@dataclass(frozen=True)
+class ProviderModel:
+    """Provider-side cost model."""
+
+    #: R — game-video stream rate (Mbit/s); Table-2 level 3 ≈ 0.8 plus
+    #: container overhead.
+    stream_rate_mbps: float = 1.0
+    #: Λ — update bandwidth per supernode (Mbit/s).
+    update_rate_mbps: float = UPDATE_MESSAGE_BITS_PER_SUPERNODE / 1e6
+    #: c_c — revenue gained per saved server-bandwidth unit (USD per
+    #: Mbit/s-hour).  Derived from the $0.085/GB EC2 egress price [8]:
+    #: 1 Mbit/s for an hour = 0.45 GB ≈ $0.038.
+    revenue_per_mbps_hour: float = 0.038
+    #: c_s — reward per GB paid to supernodes.
+    incentives: IncentiveModel = IncentiveModel()
+
+    def __post_init__(self) -> None:
+        if self.stream_rate_mbps <= 0:
+            raise ValueError("stream_rate_mbps must be positive")
+        if self.update_rate_mbps < 0 or self.revenue_per_mbps_hour < 0:
+            raise ValueError("rates must be non-negative")
+
+    # -- Eq. 2 -------------------------------------------------------------
+    def bandwidth_reduction_mbps(self, supported_players: int,
+                                 num_supernodes: int) -> float:
+        """B_r = n R - Λ m (Mbit/s saved at the cloud)."""
+        if supported_players < 0 or num_supernodes < 0:
+            raise ValueError("counts must be non-negative")
+        return (supported_players * self.stream_rate_mbps
+                - num_supernodes * self.update_rate_mbps)
+
+    def cloud_bandwidth_mbps(self, total_players: int, supported_players: int,
+                             num_supernodes: int) -> float:
+        """What the cloud still serves: Λ m + (N - n) R."""
+        if supported_players > total_players:
+            raise ValueError("supported players cannot exceed total players")
+        return (num_supernodes * self.update_rate_mbps
+                + (total_players - supported_players) * self.stream_rate_mbps)
+
+    # -- Eqs. 3-5 ------------------------------------------------------------
+    def saved_cost_per_hour(self, supported_players: int,
+                            supernode_uploads_mbps: Sequence[float],
+                            utilizations: Sequence[float]) -> float:
+        """C_g: revenue from saved bandwidth minus supernode rewards.
+
+        Enforces the constraints: Eq. 4 (contributed bandwidth covers the
+        supported demand) and Eq. 5 (each utilisation in [0, 1]).
+        """
+        if len(supernode_uploads_mbps) != len(utilizations):
+            raise ValueError("uploads and utilizations must align")
+        for u in utilizations:
+            if not 0 <= u <= 1:
+                raise ValueError(f"utilization {u} violates Eq. 5")
+        contributed = sum(c * u for c, u in
+                          zip(supernode_uploads_mbps, utilizations))
+        demand = supported_players * self.stream_rate_mbps
+        if contributed + 1e-9 < demand:
+            raise ValueError(
+                f"Eq. 4 violated: contributed {contributed:.2f} Mbit/s < "
+                f"required {demand:.2f} Mbit/s")
+        reduction = self.bandwidth_reduction_mbps(
+            supported_players, len(supernode_uploads_mbps))
+        revenue = self.revenue_per_mbps_hour * reduction
+        rewards = sum(
+            self.incentives.hourly_reward(c, u)
+            for c, u in zip(supernode_uploads_mbps, utilizations))
+        return revenue - rewards
+
+    # -- Eq. 6 -------------------------------------------------------------
+    def deployment_gain_per_hour(self, new_players: int, upload_mbps: float,
+                                 utilization: float) -> float:
+        """G_s(j) = c_c (ν R - Λ) - c_s c_j u_j for one new supernode."""
+        if new_players < 0:
+            raise ValueError("new_players must be non-negative")
+        revenue = self.revenue_per_mbps_hour * (
+            new_players * self.stream_rate_mbps - self.update_rate_mbps)
+        reward = self.incentives.hourly_reward(upload_mbps, utilization)
+        return revenue - reward
+
+    def deployment_is_worthwhile(self, new_players: int, upload_mbps: float,
+                                 utilization: float) -> bool:
+        """Deploy sn_j when G_s(j) > 0 (§3.1.2)."""
+        return self.deployment_gain_per_hour(
+            new_players, upload_mbps, utilization) > 0
+
+
+@dataclass(frozen=True)
+class RentingComparison:
+    """Fig. 16(b): renting EC2 vs rewarding a supernode."""
+
+    hours: float
+    renting_fees_usd: float
+    rewards_to_supernode_usd: float
+
+    @property
+    def savings_usd(self) -> float:
+        return self.renting_fees_usd - self.rewards_to_supernode_usd
+
+
+def renting_comparison(hours: float, upload_mbps: float, utilization: float,
+                       incentives: IncentiveModel | None = None,
+                       instance_usd_per_hour: float = EC2_GPU_INSTANCE_USD_PER_HOUR
+                       ) -> RentingComparison:
+    """Compare renting a GPU instance against rewarding a supernode."""
+    if hours < 0:
+        raise ValueError("hours must be non-negative")
+    incentives = incentives or IncentiveModel()
+    fees = instance_usd_per_hour * hours
+    rewards = incentives.hourly_reward(upload_mbps, utilization) * hours
+    return RentingComparison(hours=hours, renting_fees_usd=fees,
+                             rewards_to_supernode_usd=rewards)

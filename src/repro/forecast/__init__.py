@@ -1,0 +1,12 @@
+"""Forecasting substrate: seasonal ARIMA (Eq. 14) and diurnal patterns."""
+
+from .arima import SeasonalArima, fit_seasonal_arima, naive_seasonal_forecast
+from .diurnal import HOURS_PER_WEEK, DiurnalPattern
+
+__all__ = [
+    "SeasonalArima",
+    "fit_seasonal_arima",
+    "naive_seasonal_forecast",
+    "HOURS_PER_WEEK",
+    "DiurnalPattern",
+]

@@ -1,0 +1,13 @@
+"""Metrics: result tables, rendering, and raw-record export."""
+
+from .export import export_days_csv, export_run_jsonl, export_sessions_csv
+from .plots import render_bars
+from .tables import ResultTable
+
+__all__ = [
+    "export_days_csv",
+    "export_run_jsonl",
+    "export_sessions_csv",
+    "render_bars",
+    "ResultTable",
+]

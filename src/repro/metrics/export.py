@@ -1,0 +1,85 @@
+"""Result export: CSV / JSON-lines dumps of a run's raw records.
+
+Downstream analysis (pandas, R, spreadsheets) wants flat files, not
+Python objects.  These helpers write a :class:`~repro.core.RunResult`'s
+per-session records and per-day aggregates with stable column orders.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+__all__ = ["export_sessions_csv", "export_days_csv", "export_run_jsonl"]
+
+_SESSION_FIELDS = ("day", "player", "game", "kind", "target",
+                   "response_latency_ms", "server_latency_ms",
+                   "continuity", "satisfied", "join_latency_ms")
+
+_DAY_FIELDS = ("day", "online_players", "supernode_players",
+               "cloud_players", "cloud_bandwidth_mbps",
+               "mean_response_latency_ms", "mean_server_latency_ms",
+               "mean_continuity", "satisfied_ratio")
+
+
+def _session_row(record) -> dict:
+    return {
+        "day": record.day,
+        "player": record.player,
+        "game": record.game,
+        "kind": record.kind.value,
+        "target": record.target,
+        "response_latency_ms": record.response_latency_ms,
+        "server_latency_ms": record.server_latency_ms,
+        "continuity": record.continuity,
+        "satisfied": record.satisfied,
+        "join_latency_ms": record.join_latency_ms,
+    }
+
+
+def _day_row(day) -> dict:
+    return {field: getattr(day, field) for field in _DAY_FIELDS}
+
+
+def export_sessions_csv(result, path: str | Path) -> int:
+    """Write one CSV row per session record; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_SESSION_FIELDS)
+        writer.writeheader()
+        count = 0
+        for record in result.sessions:
+            writer.writerow(_session_row(record))
+            count += 1
+    return count
+
+
+def export_days_csv(result, path: str | Path) -> int:
+    """Write one CSV row per measured day; returns the row count."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_DAY_FIELDS)
+        writer.writeheader()
+        for day in result.days:
+            writer.writerow(_day_row(day))
+    return len(result.days)
+
+
+def export_run_jsonl(result, path: str | Path) -> int:
+    """Write the whole run as JSON lines: one ``day`` object per
+    measured day followed by its ``session`` objects; returns the line
+    count."""
+    path = Path(path)
+    lines = 0
+    with path.open("w") as handle:
+        for day in result.days:
+            handle.write(json.dumps({"type": "day", **_day_row(day)}) + "\n")
+            lines += 1
+            for record in result.sessions:
+                if record.day != day.day:
+                    continue
+                handle.write(json.dumps(
+                    {"type": "session", **_session_row(record)}) + "\n")
+                lines += 1
+    return lines

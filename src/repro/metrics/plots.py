@@ -1,0 +1,62 @@
+"""Terminal plots: render ResultTable series as ASCII charts.
+
+The repository is terminal-first (no plotting libraries are assumed),
+so figure tables can be *drawn*, not just printed: one labelled
+horizontal-bar block per numeric column, sharing a scale, which is
+enough to eyeball every curve shape the paper plots.
+"""
+
+from __future__ import annotations
+
+from .tables import ResultTable
+
+__all__ = ["render_bars"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def render_bars(table: ResultTable, width: int = 40,
+                label_column: int = 0) -> str:
+    """Render every numeric column of ``table`` as bar charts.
+
+    ``label_column`` names the column used as row labels (the x axis);
+    every other numeric column becomes one chart block.  All blocks
+    share the table-wide maximum so relative magnitudes stay comparable
+    across series.
+    """
+    if width < 5:
+        raise ValueError(f"width must be >= 5, got {width}")
+    if not table.rows:
+        raise ValueError("cannot plot an empty table")
+    columns = list(table.columns)
+    if not 0 <= label_column < len(columns):
+        raise ValueError(f"label_column {label_column} out of range")
+
+    labels = [str(row[label_column]) for row in table.rows]
+    label_width = max(len(label) for label in labels)
+
+    numeric_columns = []
+    for index, name in enumerate(columns):
+        if index == label_column:
+            continue
+        values = [row[index] for row in table.rows]
+        if all(isinstance(v, (int, float)) for v in values):
+            numeric_columns.append((name, [float(v) for v in values]))
+    if not numeric_columns:
+        raise ValueError("the table has no numeric columns to plot")
+
+    overall_max = max(max(values) for _, values in numeric_columns)
+    scale = overall_max if overall_max > 0 else 1.0
+
+    lines = [table.title, ""]
+    for name, values in numeric_columns:
+        lines.append(f"{name}  (max {overall_max:g})")
+        for label, value in zip(labels, values):
+            filled = value / scale * width
+            whole = int(filled)
+            bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+            lines.append(f"  {label.rjust(label_width)} |{bar:<{width}}| "
+                         f"{value:g}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,67 @@
+"""Result records and plain-text table rendering.
+
+Every figure-reproduction function returns a :class:`ResultTable` — the
+same rows/series the paper plots — and the benchmark harness prints it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """A labelled table of experiment results."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        try:
+            index = list(self.columns).index(name)
+        except ValueError:
+            raise KeyError(f"no column named {name!r}; "
+                           f"have {list(self.columns)}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self, float_format: str = "{:.3f}") -> str:
+        """Monospace rendering suitable for terminal output."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(cell.rjust(widths[i])
+                             for i, cell in enumerate(cells))
+
+        parts = [self.title, line(header),
+                 line(["-" * w for w in widths])]
+        parts.extend(line(row) for row in body)
+        parts.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,143 @@
+"""Transport model: how long a packet / video segment takes to arrive.
+
+Streaming QoS in the paper is packet-deadline based: "continuity is
+measured by the proportion of packets arrived within the required
+response latency over all packets in a game video" (§4.1).  The
+delivery time of a segment therefore needs three ingredients:
+
+* one-way path latency (from :mod:`repro.network.latency`);
+* serialisation time: segment bits over the bottleneck throughput
+  (sender upload share vs receiver download);
+* congestion inflation: when a sender's upload is nearly saturated the
+  effective service time stretches, modelled with the standard
+  M/M/1-style ``1 / (1 - utilisation)`` factor capped for stability.
+
+Everything is deterministic given the sampled jitter, so streaming
+sessions remain reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PathSpec", "TransportModel"]
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """A unidirectional delivery path between two endpoints."""
+
+    one_way_latency_ms: float
+    sender_share_mbps: float
+    receiver_download_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if self.sender_share_mbps <= 0 or self.receiver_download_mbps <= 0:
+            raise ValueError("path bandwidths must be positive")
+
+    @property
+    def bottleneck_mbps(self) -> float:
+        return min(self.sender_share_mbps, self.receiver_download_mbps)
+
+
+@dataclass
+class TransportModel:
+    """Computes delivery times and loss for packets and segments."""
+
+    #: Maximum congestion inflation of the serialisation time.
+    max_congestion_factor: float = 8.0
+    #: Per-packet jitter scale (ms) applied multiplicatively around 1.
+    jitter_fraction: float = 0.15
+    #: Baseline random loss probability on a healthy path.
+    base_loss_rate: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_congestion_factor < 1:
+            raise ValueError("max_congestion_factor must be >= 1")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError("jitter_fraction must lie in [0, 1)")
+        if not 0 <= self.base_loss_rate < 1:
+            raise ValueError("base_loss_rate must lie in [0, 1)")
+
+    def congestion_factor(self, utilization: float) -> float:
+        """Service-time inflation for a sender at ``utilization``.
+
+        Utilisation is the sender's committed upload share in [0, 1+).
+        Paced video streaming behaves like an M/D/1 queue, whose mean
+        waiting factor is ``1 + rho / (2 (1 - rho))`` — gentle at
+        moderate load, exploding near saturation — clipped to
+        ``max_congestion_factor`` (overload does not stretch forever;
+        packets start getting dropped instead, see :meth:`loss_rate`).
+        """
+        if utilization < 0:
+            raise ValueError(f"utilization must be non-negative, got {utilization}")
+        if utilization >= 1:
+            return self.max_congestion_factor
+        factor = 1.0 + utilization / (2.0 * (1.0 - utilization))
+        return min(factor, self.max_congestion_factor)
+
+    def loss_rate(self, utilization: float) -> float:
+        """Packet-loss probability as a function of sender utilisation."""
+        if utilization < 0:
+            raise ValueError(f"utilization must be non-negative, got {utilization}")
+        overload = max(0.0, utilization - 0.85)
+        return min(0.5, self.base_loss_rate + overload * 0.8)
+
+    def effective_throughput_mbps(self, path: PathSpec) -> float:
+        """Sustainable per-flow throughput: sender share capped by the
+        receiver's download link.
+
+        Queueing at the sender inflates *delay* (see
+        :meth:`serialization_ms`), not sustainable throughput — a stable
+        queue still drains at the offered rate.
+        """
+        return min(path.sender_share_mbps, path.receiver_download_mbps)
+
+    def serialization_ms(self, size_bits: float, path: PathSpec,
+                         utilization: float = 0.0) -> float:
+        """Time for ``size_bits`` to clear the sender, queueing included.
+
+        Base serialisation through the path bottleneck, inflated by the
+        M/D/1 waiting factor of the sender's utilisation.
+        """
+        if size_bits < 0:
+            raise ValueError("size_bits must be non-negative")
+        mbps = self.effective_throughput_mbps(path)
+        base_ms = size_bits / (mbps * 1000.0)  # bits / (Mbit/s) -> ms
+        return base_ms * self.congestion_factor(utilization)
+
+    def delivery_time_ms(self, size_bits: float, path: PathSpec,
+                         utilization: float = 0.0,
+                         rng: np.random.Generator | None = None) -> float:
+        """Total one-way delivery time of a message of ``size_bits``."""
+        total = path.one_way_latency_ms + self.serialization_ms(
+            size_bits, path, utilization)
+        if rng is not None and self.jitter_fraction > 0:
+            total *= float(rng.uniform(1.0 - self.jitter_fraction,
+                                       1.0 + self.jitter_fraction))
+        return total
+
+    def delivery_times_ms(self, size_bits: float, path: PathSpec,
+                          count: int, utilization: float = 0.0,
+                          rng: np.random.Generator | None = None) -> np.ndarray:
+        """Vectorised delivery times for ``count`` equal-size packets."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        base = path.one_way_latency_ms + self.serialization_ms(
+            size_bits, path, utilization)
+        times = np.full(count, base, dtype=np.float64)
+        if rng is not None and self.jitter_fraction > 0:
+            times *= rng.uniform(1.0 - self.jitter_fraction,
+                                 1.0 + self.jitter_fraction, size=count)
+        return times
+
+    def sample_losses(self, count: int, utilization: float,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Boolean loss mask for ``count`` packets at a utilisation."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return rng.random(count) < self.loss_rate(utilization)

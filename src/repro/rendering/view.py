@@ -1,0 +1,95 @@
+"""View-dependent rendering and interest management.
+
+§3.1: the supernode "renders game video for n_i based on n_i's viewing
+position and angle".  For that to work at fog scale, each supernode only
+needs the world state relevant to its players' views — the classic MMOG
+*interest management* problem.  This module implements it:
+
+* a :class:`Viewpoint` (position, facing angle, field of view, range);
+* visibility tests over the virtual world's avatars;
+* :func:`relevant_players` — the union of its players' interest sets,
+  which determines the slice of update traffic a supernode actually
+  needs (per-supernode Λ shrinks when its players cluster).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..cloud.gamestate import VirtualWorld
+
+__all__ = ["Viewpoint", "visible_players", "relevant_players",
+           "update_bits_for_interest"]
+
+
+@dataclass(frozen=True)
+class Viewpoint:
+    """A player camera: position, facing, field of view, view range."""
+
+    x: float
+    y: float
+    facing_rad: float = 0.0
+    fov_rad: float = math.tau * 2 / 3   # 240 degrees, third-person camera
+    range_units: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fov_rad <= math.tau:
+            raise ValueError("fov must lie in (0, 2*pi]")
+        if self.range_units <= 0:
+            raise ValueError("view range must be positive")
+
+    def sees(self, x: float, y: float) -> bool:
+        """Is a world position inside this camera's view volume?"""
+        dx, dy = x - self.x, y - self.y
+        distance = math.hypot(dx, dy)
+        if distance > self.range_units:
+            return False
+        if distance == 0.0:
+            return True
+        if self.fov_rad >= math.tau:
+            return True
+        bearing = math.atan2(dy, dx)
+        delta = (bearing - self.facing_rad + math.pi) % math.tau - math.pi
+        return abs(delta) <= self.fov_rad / 2
+
+
+def visible_players(world: VirtualWorld, viewpoint: Viewpoint,
+                    exclude: int | None = None) -> set[int]:
+    """Avatars inside one camera's view volume."""
+    seen = set()
+    for player, avatar in world.avatars.items():
+        if player == exclude:
+            continue
+        if viewpoint.sees(avatar.x, avatar.y):
+            seen.add(player)
+    return seen
+
+
+def relevant_players(world: VirtualWorld,
+                     viewpoints: Iterable[tuple[int, Viewpoint]]
+                     ) -> set[int]:
+    """Interest set of a supernode: everything any of its players sees.
+
+    Includes the viewing players themselves (their own avatars must be
+    drawn too).
+    """
+    interest: set[int] = set()
+    for player, viewpoint in viewpoints:
+        if player in world:
+            interest.add(player)
+        interest |= visible_players(world, viewpoint, exclude=player)
+    return interest
+
+
+def update_bits_for_interest(world: VirtualWorld, interest: set[int],
+                             changed: set[int]) -> float:
+    """Per-tick update bits a supernode needs for its interest set.
+
+    Only changed avatars inside the interest set must be shipped; the
+    heartbeat floor still applies (sequence numbers, clock sync).
+    """
+    relevant_changes = len(interest & changed)
+    return max(world.heartbeat_bits,
+               relevant_changes * world.bits_per_changed_avatar)

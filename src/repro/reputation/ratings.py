@@ -1,0 +1,80 @@
+"""Rating ledger: per-player records of supernode performance.
+
+§3.2.1: "a player evaluates its supernode's performance in providing
+fluent game video streaming service after each game" and "each player
+use[s] its own evaluation without gathering opinions from other players"
+— the defence against sybil attacks and collusion.  §4.1: "each player
+rates the supernode using the value of its game video playback
+continuity during this gaming activity."
+
+Each rating carries the day it was given; ages (in days) weight the
+aggregation in :mod:`repro.reputation.scores`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Rating", "RatingLedger"]
+
+
+@dataclass(frozen=True)
+class Rating:
+    """One rating a player gave a supernode after one game session."""
+
+    value: float
+    day: int
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError(
+                f"rating must lie in [0, 1] (a continuity), got {self.value}")
+        if self.day < 0:
+            raise ValueError(f"day must be non-negative, got {self.day}")
+
+    def age_days(self, today: int) -> int:
+        """Days elapsed since the rating was given."""
+        if today < self.day:
+            raise ValueError(f"today ({today}) precedes the rating day ({self.day})")
+        return today - self.day
+
+
+class RatingLedger:
+    """All ratings, keyed by (rater player, rated supernode).
+
+    Strictly first-person: the ledger never mixes different players'
+    opinions of a supernode into one pool (the §3.2.1 sybil defence is a
+    structural property here, enforced by the key).
+    """
+
+    def __init__(self, max_ratings_per_pair: int = 64) -> None:
+        if max_ratings_per_pair <= 0:
+            raise ValueError("max_ratings_per_pair must be positive")
+        self.max_ratings_per_pair = max_ratings_per_pair
+        self._ratings: dict[tuple[int, int], list[Rating]] = defaultdict(list)
+
+    def add(self, player: int, supernode: int, value: float, day: int) -> None:
+        """Record one rating; oldest ratings roll off past the cap."""
+        ratings = self._ratings[(player, supernode)]
+        ratings.append(Rating(value=value, day=day))
+        if len(ratings) > self.max_ratings_per_pair:
+            del ratings[0]
+
+    def ratings(self, player: int, supernode: int) -> list[Rating]:
+        """This player's ratings of this supernode (oldest first)."""
+        return list(self._ratings.get((player, supernode), ()))
+
+    def has_history(self, player: int, supernode: int) -> bool:
+        return bool(self._ratings.get((player, supernode)))
+
+    def rated_supernodes(self, player: int) -> list[int]:
+        """Supernodes this player has ever rated."""
+        return sorted({sn for (p, sn) in self._ratings if p == player})
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        return iter(self._ratings.keys())
+
+    def total_ratings(self) -> int:
+        return sum(len(r) for r in self._ratings.values())

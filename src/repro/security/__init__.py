@@ -1,0 +1,27 @@
+"""Security extension: the §3.6 threat catalogue and provider defences."""
+
+from .detection import (
+    AuditResult,
+    DelayAttackDetector,
+    RewardAuditor,
+    payload_policy_violations,
+)
+from .threats import (
+    MaliciousProfile,
+    ThreatKind,
+    TrafficReport,
+    honest_report,
+    malicious_report,
+)
+
+__all__ = [
+    "AuditResult",
+    "DelayAttackDetector",
+    "RewardAuditor",
+    "payload_policy_violations",
+    "MaliciousProfile",
+    "ThreatKind",
+    "TrafficReport",
+    "honest_report",
+    "malicious_report",
+]

@@ -1,0 +1,112 @@
+"""Malicious-supernode threat models — the §3.6 future-work catalogue.
+
+The paper defers security to future work but names the attacks exactly:
+
+* "some supernodes may generate a large amount of junk files and send
+  them to players so as to earn rewards from the game service provider"
+  — **reward fraud** (junk injection);
+* "some supernodes can intercept or wiretap users' personal information"
+  — **eavesdropping**;
+* "some supernodes may deliberately delay the transmission of game
+  videos in order to destroy user satisfactions" — **delay attack**.
+
+This module implements those behaviours as effects on a supernode's
+reported/delivered traffic; :mod:`repro.security.detection` implements
+the provider-side defences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+__all__ = ["ThreatKind", "MaliciousProfile", "TrafficReport",
+           "honest_report", "malicious_report"]
+
+
+class ThreatKind(Enum):
+    """The §3.6 attack catalogue."""
+
+    JUNK_INJECTION = "junk-injection"
+    DELAY_ATTACK = "delay-attack"
+    EAVESDROPPING = "eavesdropping"
+
+
+@dataclass(frozen=True)
+class MaliciousProfile:
+    """How a compromised supernode misbehaves."""
+
+    kind: ThreatKind
+    #: Junk injection: claimed-traffic inflation factor (> 1).
+    inflation: float = 3.0
+    #: Delay attack: extra per-packet delay (ms).
+    added_delay_ms: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind is ThreatKind.JUNK_INJECTION and self.inflation <= 1.0:
+            raise ValueError("junk injection must inflate traffic (> 1)")
+        if self.kind is ThreatKind.DELAY_ATTACK and self.added_delay_ms <= 0:
+            raise ValueError("a delay attack must add positive delay")
+
+
+@dataclass(frozen=True)
+class TrafficReport:
+    """A supernode's end-of-day billing report to the provider.
+
+    ``claimed_gb`` is what the supernode asks to be paid for;
+    ``expected_gb`` is what the provider can derive independently from
+    the sessions it brokered (players x bitrates x hours) — the provider
+    knows both because it assigns players and knows their games.
+    """
+
+    supernode_id: int
+    claimed_gb: float
+    expected_gb: float
+    players_served: int
+
+    def __post_init__(self) -> None:
+        if self.claimed_gb < 0 or self.expected_gb < 0:
+            raise ValueError("traffic must be non-negative")
+        if self.players_served < 0:
+            raise ValueError("players_served must be non-negative")
+
+    @property
+    def inflation_ratio(self) -> float:
+        """Claimed over expected; ~1 for honest supernodes."""
+        if self.expected_gb == 0:
+            return float("inf") if self.claimed_gb > 0 else 1.0
+        return self.claimed_gb / self.expected_gb
+
+
+def honest_report(supernode_id: int, expected_gb: float,
+                  players_served: int, rng: np.random.Generator,
+                  measurement_noise: float = 0.05) -> TrafficReport:
+    """An honest report: claimed ≈ expected up to measurement noise."""
+    if measurement_noise < 0:
+        raise ValueError("measurement_noise must be non-negative")
+    noise = 1.0 + float(rng.normal(0.0, measurement_noise))
+    return TrafficReport(supernode_id=supernode_id,
+                         claimed_gb=max(0.0, expected_gb * noise),
+                         expected_gb=expected_gb,
+                         players_served=players_served)
+
+
+def malicious_report(supernode_id: int, expected_gb: float,
+                     players_served: int, profile: MaliciousProfile,
+                     rng: np.random.Generator) -> TrafficReport:
+    """A compromised supernode's report under its threat profile.
+
+    Only junk injection distorts the billing channel; delay attacks and
+    eavesdropping leave traffic honest (they are caught by reputation
+    and by out-of-band auditing respectively).
+    """
+    if profile.kind is ThreatKind.JUNK_INJECTION:
+        claimed = expected_gb * profile.inflation \
+            * (1.0 + float(rng.normal(0.0, 0.05)))
+        return TrafficReport(supernode_id=supernode_id,
+                             claimed_gb=max(0.0, claimed),
+                             expected_gb=expected_gb,
+                             players_served=players_served)
+    return honest_report(supernode_id, expected_gb, players_served, rng)

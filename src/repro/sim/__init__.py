@@ -1,0 +1,60 @@
+"""Simulation substrate: discrete-event engine, cycle harness, RNG, probes."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Condition,
+    EmptySchedule,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from .resources import (
+    Container,
+    FilterStore,
+    Preempted,
+    PreemptivePriorityResource,
+    PriorityResource,
+    Release,
+    Request,
+    Resource,
+    Store,
+)
+from .cycles import PAPER_SCHEDULE, Clock, CycleScheduler, Schedule
+from .monitor import Counter, Series, Summary, summarize
+from .rng import EmpiricalDistribution, RngFactory, pareto_capacities, powerlaw_counts
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Timeout",
+    "Container",
+    "FilterStore",
+    "Preempted",
+    "PreemptivePriorityResource",
+    "PriorityResource",
+    "Release",
+    "Request",
+    "Resource",
+    "Store",
+    "PAPER_SCHEDULE",
+    "Clock",
+    "CycleScheduler",
+    "Schedule",
+    "Counter",
+    "Series",
+    "Summary",
+    "summarize",
+    "EmpiricalDistribution",
+    "RngFactory",
+    "pareto_capacities",
+    "powerlaw_counts",
+]

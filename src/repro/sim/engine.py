@@ -1,0 +1,441 @@
+"""Discrete-event simulation engine.
+
+A from-scratch implementation of the process-based discrete-event
+simulation style popularised by SimPy.  The paper's streaming-level
+experiments need an event engine (segment deliveries, buffer drains,
+rate-adaptation decisions happen at irregular instants); SimPy itself is
+not available in this environment, so this module provides the same
+primitives:
+
+* :class:`Environment` — the event loop and simulation clock.
+* :class:`Event` — a one-shot occurrence carrying a value or an error.
+* :class:`Timeout` — an event that fires after a delay.
+* :class:`Process` — a generator-driven coroutine that suspends on events.
+* :class:`AnyOf` / :class:`AllOf` — condition events over several events.
+* :class:`Interrupt` — exception thrown into a process by ``interrupt()``.
+
+The engine is deterministic: events scheduled at the same time fire in
+scheduling order (a monotone tie-break counter guarantees this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Condition",
+    "Interrupt",
+    "StopSimulation",
+    "EmptySchedule",
+]
+
+# Scheduling priorities: urgent events (process resumptions) run before
+# normal events scheduled at the same instant, mirroring SimPy.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()  # sentinel: event value not yet decided
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at ``until``."""
+
+
+class Interrupt(Exception):
+    """Exception thrown into an interrupted :class:`Process`.
+
+    The interrupt ``cause`` is available both as ``exc.cause`` and as
+    ``exc.args[0]``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; they may be *triggered* with a value
+    (:meth:`succeed`) or an exception (:meth:`fail`).  Once triggered they
+    are placed on the environment's queue and *processed* at the current
+    simulation instant, running all registered callbacks.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been given a value or an error."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise RuntimeError(f"{self!r} has not yet been triggered")
+        return self._value
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it is not re-raised."""
+        self._defused = True
+
+    # -- triggering ----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self, priority=NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self, priority=NORMAL)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically ``delay`` time units from now."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, priority=NORMAL, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A process: a generator driven by the events it yields.
+
+    The process itself is an event that triggers when the generator
+    returns (value = the ``return`` value) or raises (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process.
+
+        The interrupt is delivered as an urgent event so it preempts any
+        event the process is waiting on.  Interrupting a dead process is
+        an error; interrupting itself is too.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise RuntimeError("a process is not allowed to interrupt itself")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or error) of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            # Un-register from the old target: if we were interrupted while
+            # waiting, the original event must not resume us again later.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed; throw the error into the generator
+                    # (which may catch Interrupt and continue).
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, None)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self, priority=NORMAL)
+                break
+            except BaseException as error:
+                self._ok = False
+                self._value = error
+                self._defused = False
+                env.schedule(self, priority=NORMAL)
+                break
+
+            if not isinstance(next_event, Event):
+                error = RuntimeError(
+                    f"process yielded a non-event: {next_event!r}")
+                try:
+                    self._generator.throw(RuntimeError, error, None)
+                except BaseException as bubbled:
+                    self._ok = False
+                    self._value = bubbled
+                    env.schedule(self, priority=NORMAL)
+                break
+
+            if next_event.callbacks is not None:
+                # Pending or triggered-but-unprocessed: wait for it.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+            # Already processed: loop and feed its value straight back in.
+            event = next_event
+        env._active_process = None
+
+
+class Condition(Event):
+    """An event that triggers when ``evaluate(events, count)`` is true.
+
+    The value of a condition is a dict mapping each *triggered* event to
+    its value, in trigger order.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events must share one environment")
+
+        if not self._events:
+            self.succeed(self._collect_values())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        return {e: e._value for e in self._events if e.processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(None)
+            # Defer value collection until processing so that same-instant
+            # sibling events are included.
+            self.callbacks.insert(0, self._build_value)
+
+    def _build_value(self, _event: Event) -> None:
+        self._value = self._collect_values()
+
+
+class AllOf(Condition):
+    """Condition that triggers once *all* events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        events = list(events)
+        super().__init__(env, lambda evs, count: count >= len(evs), events)
+
+
+class AnyOf(Condition):
+    """Condition that triggers once *any* event has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, lambda evs, count: count >= 1, events)
+
+
+class Environment:
+    """The simulation environment: clock plus event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling and stepping ------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL,
+                 delay: float = 0.0) -> None:
+        """Place ``event`` on the queue ``delay`` time units from now."""
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event; raise :class:`EmptySchedule` if none."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure crashes the simulation, as in SimPy.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run to exhaustion), a time (run up to
+        that instant), or an :class:`Event` (run until it is processed and
+        return its value).
+        """
+        stop: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+                if stop.callbacks is None:  # already processed
+                    return stop.value
+                stop.callbacks.append(self._stop_callback)
+            else:
+                horizon = float(until)
+                if horizon <= self._now:
+                    raise ValueError(
+                        f"until ({horizon}) must be greater than now ({self._now})")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                self.schedule(stop, priority=URGENT, delay=horizon - self._now)
+                stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as signal:
+            return signal.args[0] if signal.args else None
+        except EmptySchedule:
+            if stop is not None and isinstance(until, Event):
+                raise RuntimeError(
+                    "no more events scheduled but the until-event never fired")
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

@@ -1,0 +1,135 @@
+"""Measurement probes: time series, counters and summary statistics.
+
+The experiments record per-cycle and per-instant observations (latency,
+continuity, bandwidth, ...).  These small containers keep the recording
+code out of the simulation logic and provide the aggregation the paper
+reports (means over the measured weeks, ratios, percentiles).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = ["Series", "Counter", "Summary", "summarize"]
+
+
+class Series:
+    """An append-only (time, value) series with summary helpers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def window(self, start: float, end: Optional[float] = None) -> "Series":
+        """Sub-series with start <= time (< end if given)."""
+        out = Series(self.name)
+        for t, v in self:
+            if t >= start and (end is None or t < end):
+                out.record(t, v)
+        return out
+
+    def summary(self) -> "Summary":
+        return summarize(self.values)
+
+
+class Counter:
+    """A named tally of discrete occurrences."""
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self._counts[key] = self._counts.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def ratio(self, key: str) -> float:
+        """Share of ``key`` among all recorded occurrences."""
+        total = self.total()
+        return self.get(key) / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.3f} std={self.std:.3f} "
+                f"min={self.minimum:.3f} p50={self.p50:.3f} "
+                f"p95={self.p95:.3f} max={self.maximum:.3f}")
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation percentile on a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    # The a + f*(b - a) form is exact when a == b, keeping p50 <= p95
+    # even for denormal-scale samples.
+    return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Compute a :class:`Summary` of ``values`` (must be non-empty)."""
+    sample = [float(v) for v in values]
+    if not sample:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(sample)
+    ordered = sorted(sample)
+    # sum()/n can land 1 ulp outside [min, max] for identical values;
+    # clamp so the mean always respects the sample bounds.
+    mean = min(max(sum(sample) / n, ordered[0]), ordered[-1])
+    variance = sum((v - mean) ** 2 for v in sample) / n
+    return Summary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        p50=_percentile(ordered, 0.50),
+        p95=_percentile(ordered, 0.95),
+    )

@@ -1,0 +1,32 @@
+"""Social substrate: friendship graphs, co-play records, communities."""
+
+from .communities import (
+    DEFAULT_MISS_LIMIT,
+    DEFAULT_SWAP_ATTEMPTS,
+    Partition,
+    greedy_modularity_reference,
+    modularity,
+    paper_partition,
+    random_partition,
+)
+from .graph import FriendGraph, generate_friend_graph
+from .interactions import (
+    DEFAULT_IMPLICIT_THRESHOLD,
+    CoPlayRecorder,
+    combined_friendship,
+)
+
+__all__ = [
+    "DEFAULT_MISS_LIMIT",
+    "DEFAULT_SWAP_ATTEMPTS",
+    "Partition",
+    "greedy_modularity_reference",
+    "modularity",
+    "paper_partition",
+    "random_partition",
+    "FriendGraph",
+    "generate_friend_graph",
+    "DEFAULT_IMPLICIT_THRESHOLD",
+    "CoPlayRecorder",
+    "combined_friendship",
+]

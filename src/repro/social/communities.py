@@ -1,0 +1,254 @@
+"""Community clustering for server assignment — §3.4, Eq. 13.
+
+The paper partitions the friendship graph into ``z`` communities (one
+per server in a datacenter), evaluated by Newman–Girvan modularity::
+
+    Gamma = sum_a (q_aa - p_a^2)                                (13)
+
+where ``q_ab`` is the fraction of edges joining communities a and b and
+``p_a = sum_b q_ab``.  Equivalently, with ``e_c`` internal edges of
+community c, ``deg_c`` the total degree inside c and ``E`` all edges:
+``Gamma = sum_c (e_c / E - (deg_c / 2E)^2)``.
+
+Two partitioners are provided:
+
+* :func:`paper_partition` — the paper's greedy *seed-and-swap* algorithm
+  (steps 1–6 of §3.4): grow communities by pulling in friends until each
+  holds ~|V|/z players, then repeatedly swap the communities of two
+  random players together with their friends, keeping a swap only when
+  modularity improves, stopping after ``h1`` attempts or ``h2``
+  consecutive misses.
+* :func:`greedy_modularity_reference` — networkx's Clauset-Newman-Moore
+  partitioner folded down to z communities, used as an ablation
+  reference.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from .graph import FriendGraph
+
+__all__ = [
+    "modularity",
+    "Partition",
+    "random_partition",
+    "paper_partition",
+    "greedy_modularity_reference",
+    "DEFAULT_SWAP_ATTEMPTS",
+    "DEFAULT_MISS_LIMIT",
+]
+
+#: h1 — maximum number of swap attempts (the paper's default setting).
+DEFAULT_SWAP_ATTEMPTS = 100
+
+#: h2 — consecutive misses before giving up early (h2 < h1).
+DEFAULT_MISS_LIMIT = 10
+
+
+def modularity(graph: FriendGraph, assignment: Mapping[int, int]) -> float:
+    """Eq. 13 modularity of a player→community assignment.
+
+    Players missing from ``assignment`` are an error; a graph with no
+    edges has modularity 0 by convention.
+    """
+    total_edges = graph.num_edges
+    if total_edges == 0:
+        return 0.0
+    internal: dict[int, int] = {}
+    degree_sum: dict[int, int] = {}
+    for player in range(graph.num_players):
+        if player not in assignment:
+            raise ValueError(f"player {player} missing from the assignment")
+        community = assignment[player]
+        degree_sum[community] = degree_sum.get(community, 0) + graph.degree(player)
+    for a, b in graph.edges():
+        if assignment[a] == assignment[b]:
+            community = assignment[a]
+            internal[community] = internal.get(community, 0) + 1
+    gamma = 0.0
+    for community, degrees in degree_sum.items():
+        e_c = internal.get(community, 0)
+        gamma += e_c / total_edges - (degrees / (2.0 * total_edges)) ** 2
+    return gamma
+
+
+class Partition:
+    """A mutable player→community assignment with O(deg) modularity updates."""
+
+    def __init__(self, graph: FriendGraph, assignment: Mapping[int, int]):
+        self.graph = graph
+        self.community_of = {p: assignment[p] for p in range(graph.num_players)}
+        self._internal: dict[int, int] = {}
+        self._degree_sum: dict[int, int] = {}
+        for player in range(graph.num_players):
+            community = self.community_of[player]
+            self._degree_sum[community] = (
+                self._degree_sum.get(community, 0) + graph.degree(player))
+        for a, b in graph.edges():
+            if self.community_of[a] == self.community_of[b]:
+                c = self.community_of[a]
+                self._internal[c] = self._internal.get(c, 0) + 1
+
+    def modularity(self) -> float:
+        total = self.graph.num_edges
+        if total == 0:
+            return 0.0
+        gamma = 0.0
+        for community, degrees in self._degree_sum.items():
+            e_c = self._internal.get(community, 0)
+            gamma += e_c / total - (degrees / (2.0 * total)) ** 2
+        return gamma
+
+    def move(self, player: int, community: int) -> int:
+        """Move ``player`` to ``community``; return its old community."""
+        old = self.community_of[player]
+        if old == community:
+            return old
+        degree = self.graph.degree(player)
+        for friend in self.graph.friends(player):
+            friend_community = self.community_of[friend]
+            if friend_community == old:
+                self._internal[old] = self._internal.get(old, 0) - 1
+            if friend_community == community:
+                self._internal[community] = self._internal.get(community, 0) + 1
+        self._degree_sum[old] -= degree
+        self._degree_sum[community] = self._degree_sum.get(community, 0) + degree
+        self.community_of[player] = community
+        return old
+
+    def sizes(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for community in self.community_of.values():
+            counts[community] = counts.get(community, 0) + 1
+        return counts
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self.community_of)
+
+
+def random_partition(graph: FriendGraph, z: int,
+                     rng: np.random.Generator) -> dict[int, int]:
+    """Baseline: uniform random community per player."""
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    return {p: int(rng.integers(0, z)) for p in range(graph.num_players)}
+
+
+def _seed_communities(graph: FriendGraph, z: int,
+                      rng: np.random.Generator) -> dict[int, int]:
+    """Steps 1–4 of §3.4: grow z friend-pulled communities of ~|V|/z."""
+    n = graph.num_players
+    target = max(1, n // z)
+    unassigned = set(range(n))
+    assignment: dict[int, int] = {}
+
+    for community in range(z):
+        if not unassigned:
+            break
+        members: list[int] = []
+        # Step 1: a random seed player plus all its unassigned friends.
+        seed = int(rng.choice(sorted(unassigned)))
+        for player in [seed, *sorted(graph.friends(seed) & unassigned)]:
+            if player in unassigned:
+                assignment[player] = community
+                unassigned.discard(player)
+                members.append(player)
+        # Steps 2–3: pull in friends-of-members until the size target.
+        attempts = 0
+        while len(members) < target and unassigned and attempts < 4 * target:
+            attempts += 1
+            anchor = int(members[int(rng.integers(0, len(members)))])
+            pulled = sorted(graph.friends(anchor) & unassigned)
+            if not pulled:
+                # Dead end: jump-start from a fresh unassigned player.
+                pulled = [int(rng.choice(sorted(unassigned)))]
+            for player in pulled:
+                assignment[player] = community
+                unassigned.discard(player)
+                members.append(player)
+
+    # Step 4 cleanup: any leftovers go to the smallest communities.
+    if unassigned:
+        sizes = {c: 0 for c in range(z)}
+        for community in assignment.values():
+            sizes[community] += 1
+        for player in sorted(unassigned):
+            community = min(sizes, key=lambda c: sizes[c])
+            assignment[player] = community
+            sizes[community] += 1
+    return assignment
+
+
+def paper_partition(graph: FriendGraph, z: int, rng: np.random.Generator,
+                    h1: int = DEFAULT_SWAP_ATTEMPTS,
+                    h2: int = DEFAULT_MISS_LIMIT) -> dict[int, int]:
+    """The full §3.4 algorithm: seed-and-swap modularity improvement."""
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    if h2 >= h1:
+        raise ValueError(f"h2 ({h2}) must be smaller than h1 ({h1})")
+    if graph.num_players == 0:
+        return {}
+    if z == 1:
+        return {p: 0 for p in range(graph.num_players)}
+
+    partition = Partition(graph, _seed_communities(graph, z, rng))
+
+    # Steps 5–6: random group swaps kept only when modularity improves.
+    misses = 0
+    gamma = partition.modularity()
+    for _ in range(h1):
+        if misses >= h2:
+            break
+        community_a, community_b = rng.choice(z, size=2, replace=False)
+        members_a = [p for p, c in partition.community_of.items()
+                     if c == community_a]
+        members_b = [p for p, c in partition.community_of.items()
+                     if c == community_b]
+        if not members_a or not members_b:
+            misses += 1
+            continue
+        player_i = int(members_a[int(rng.integers(0, len(members_a)))])
+        player_j = int(members_b[int(rng.integers(0, len(members_b)))])
+        group_i = [player_i, *sorted(graph.friends(player_i))]
+        group_j = [player_j, *sorted(graph.friends(player_j))]
+
+        moves: list[tuple[int, int]] = []  # (player, previous community)
+        for player in group_i:
+            moves.append((player, partition.move(player, int(community_b))))
+        for player in group_j:
+            if player not in group_i:
+                moves.append((player, partition.move(player, int(community_a))))
+
+        new_gamma = partition.modularity()
+        if new_gamma > gamma:
+            gamma = new_gamma
+            misses = 0
+        else:
+            # Miss: roll the swap back, newest move first.
+            for player, previous in reversed(moves):
+                partition.move(player, previous)
+            misses += 1
+    return partition.as_dict()
+
+
+def greedy_modularity_reference(graph: FriendGraph, z: int) -> dict[int, int]:
+    """networkx Clauset–Newman–Moore communities folded to z labels."""
+    import networkx.algorithms.community as nx_community
+
+    if z <= 0:
+        raise ValueError(f"z must be positive, got {z}")
+    if graph.num_players == 0:
+        return {}
+    nx_graph = graph.to_networkx()
+    communities = nx_community.greedy_modularity_communities(nx_graph)
+    assignment: dict[int, int] = {}
+    # Largest communities keep their own label; the rest fold modulo z.
+    for index, members in enumerate(
+            sorted(communities, key=len, reverse=True)):
+        for player in members:
+            assignment[player] = index % z
+    return assignment

@@ -1,0 +1,113 @@
+"""Friendship graphs.
+
+§4.1: "The number of friends for each player follows power-law
+distribution with skew factor of 1.5."  §3.4 represents players as an
+undirected graph G = (V, E) with e_ij = 1 when i and j are friends, and
+F(i) denoting i's friend set.
+
+Generation uses a configuration-model-style stub matching over the
+power-law degree sequence (self-loops and duplicate edges discarded),
+which yields the right degree shape without imposing extra structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import networkx as nx
+import numpy as np
+
+from ..sim.rng import powerlaw_counts
+
+__all__ = ["FriendGraph", "generate_friend_graph"]
+
+
+class FriendGraph:
+    """An undirected friendship graph over integer player ids."""
+
+    def __init__(self, num_players: int,
+                 edges: Iterable[tuple[int, int]] = ()) -> None:
+        if num_players < 0:
+            raise ValueError(f"num_players must be non-negative, got {num_players}")
+        self.num_players = num_players
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(num_players))
+        for a, b in edges:
+            self.add_friendship(a, b)
+
+    # -- mutation ----------------------------------------------------------
+    def add_friendship(self, a: int, b: int) -> None:
+        self._check(a)
+        self._check(b)
+        if a == b:
+            raise ValueError(f"player {a} cannot befriend itself")
+        self._graph.add_edge(a, b)
+
+    def remove_friendship(self, a: int, b: int) -> None:
+        if self._graph.has_edge(a, b):
+            self._graph.remove_edge(a, b)
+
+    def _check(self, player: int) -> None:
+        if not 0 <= player < self.num_players:
+            raise ValueError(
+                f"player {player} out of range [0, {self.num_players})")
+
+    # -- queries -----------------------------------------------------------
+    def friends(self, player: int) -> set[int]:
+        """F(i): the friend set of a player."""
+        self._check(player)
+        return set(self._graph.neighbors(player))
+
+    def are_friends(self, a: int, b: int) -> bool:
+        return self._graph.has_edge(a, b)
+
+    def degree(self, player: int) -> int:
+        self._check(player)
+        return int(self._graph.degree(player))
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        return iter(self._graph.edges())
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def subgraph_players(self, players: Iterable[int]) -> "FriendGraph":
+        """Friendships restricted to a player subset (ids preserved)."""
+        players = set(players)
+        sub = FriendGraph(self.num_players)
+        for a, b in self._graph.subgraph(players).edges():
+            sub.add_friendship(a, b)
+        return sub
+
+    def to_networkx(self) -> nx.Graph:
+        """A copy as a plain networkx graph (for reference algorithms)."""
+        return self._graph.copy()
+
+
+def generate_friend_graph(rng: np.random.Generator, num_players: int,
+                          skew: float = 1.5, max_friends: int = 150
+                          ) -> FriendGraph:
+    """Sample a friendship graph with power-law friend counts.
+
+    Stub matching: each player gets ``degree`` stubs from the power law;
+    stubs are shuffled and paired.  Self-loops and duplicate pairs are
+    dropped, slightly truncating the heaviest nodes — the standard
+    configuration-model behaviour, acceptable here since the paper only
+    relies on the skewed shape.
+    """
+    if num_players < 0:
+        raise ValueError(f"num_players must be non-negative, got {num_players}")
+    graph = FriendGraph(num_players)
+    if num_players < 2:
+        return graph
+    degrees = powerlaw_counts(rng, num_players, skew=skew, minimum=1,
+                              maximum=min(max_friends, num_players - 1))
+    stubs = np.repeat(np.arange(num_players), degrees)
+    rng.shuffle(stubs)
+    if len(stubs) % 2 == 1:
+        stubs = stubs[:-1]
+    for a, b in zip(stubs[0::2], stubs[1::2]):
+        if a != b:
+            graph.add_friendship(int(a), int(b))
+    return graph

@@ -1,0 +1,89 @@
+"""Co-play records and implicit friendship.
+
+§3.4 defines two friendship sources: *explicit* friendship built in the
+game, and *implicit* friendship — "when the number of times that two
+players play together within the recent week CP_ij is larger than a
+threshold υ, we regard it as an implicit friendship."  CloudFog "keeps
+record of each user's playing activities (e.g., who they are playing
+with, how long do they play)".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .graph import FriendGraph
+
+__all__ = ["CoPlayRecorder", "DEFAULT_IMPLICIT_THRESHOLD", "combined_friendship"]
+
+#: Default υ: co-playing more than 3 times in a week implies friendship.
+DEFAULT_IMPLICIT_THRESHOLD = 3
+
+
+def _key(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class CoPlayRecorder:
+    """Sliding weekly window of play-together counts (CP_ij)."""
+
+    window_days: int = 7
+    _daily: dict[int, dict[tuple[int, int], int]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(int)))
+
+    def __post_init__(self) -> None:
+        if self.window_days <= 0:
+            raise ValueError("window_days must be positive")
+
+    def record(self, day: int, a: int, b: int, times: int = 1) -> None:
+        """Players ``a`` and ``b`` played together ``times`` times on ``day``."""
+        if a == b:
+            raise ValueError("a player cannot co-play with itself")
+        if times <= 0:
+            raise ValueError("times must be positive")
+        self._daily[day][_key(a, b)] += times
+
+    def coplay_count(self, day: int, a: int, b: int) -> int:
+        """CP_ij over the window ending at ``day`` (inclusive)."""
+        total = 0
+        for d in range(day - self.window_days + 1, day + 1):
+            total += self._daily.get(d, {}).get(_key(a, b), 0)
+        return total
+
+    def implicit_friends(self, day: int,
+                         threshold: int = DEFAULT_IMPLICIT_THRESHOLD
+                         ) -> set[tuple[int, int]]:
+        """All pairs whose windowed CP_ij exceeds υ."""
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        totals: dict[tuple[int, int], int] = defaultdict(int)
+        for d in range(day - self.window_days + 1, day + 1):
+            for pair, count in self._daily.get(d, {}).items():
+                totals[pair] += count
+        return {pair for pair, count in totals.items() if count > threshold}
+
+    def expire_before(self, day: int) -> None:
+        """Drop records strictly older than the window ending at ``day``."""
+        cutoff = day - self.window_days + 1
+        for d in [d for d in self._daily if d < cutoff]:
+            del self._daily[d]
+
+
+def combined_friendship(explicit: FriendGraph,
+                        recorder: CoPlayRecorder,
+                        day: int,
+                        threshold: int = DEFAULT_IMPLICIT_THRESHOLD
+                        ) -> FriendGraph:
+    """Merge explicit friendships with implicit (co-play) ones.
+
+    The result is the graph §3.4 clusters into server communities.
+    """
+    merged = FriendGraph(explicit.num_players)
+    for a, b in explicit.edges():
+        merged.add_friendship(a, b)
+    for a, b in recorder.implicit_friends(day, threshold):
+        if a < explicit.num_players and b < explicit.num_players:
+            merged.add_friendship(a, b)
+    return merged

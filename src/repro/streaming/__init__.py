@@ -1,0 +1,63 @@
+"""Streaming substrate: quality ladder, segments, buffer, adaptation, QoS."""
+
+from .adaptation import DEFAULT_ADJUST_DOWN_THRESHOLD, Adjustment, RateController
+from .buffer import BufferEstimator, PlaybackBuffer
+from .continuity import (
+    SATISFIED_CONTINUITY_THRESHOLD,
+    ContinuityStats,
+    is_satisfied,
+    packet_continuity,
+    satisfied_ratio,
+)
+from .compression import LIVERENDER_LIKE, CompressionModel
+from .multiplex import MultiplexConfig, PlayerOutcome, simulate_supernode
+from .qoe import MosBreakdown, QoeModel
+from .segments import DEFAULT_SEGMENT_SECONDS, Segment
+from .session import (
+    SessionConfig,
+    SessionResult,
+    estimate_continuity,
+    simulate_session,
+    stationary_level,
+)
+from .video import (
+    FRAME_RATE_FPS,
+    QUALITY_LADDER,
+    QualityLevel,
+    adjust_up_factor,
+    get_level,
+    level_for_latency_requirement,
+)
+
+__all__ = [
+    "DEFAULT_ADJUST_DOWN_THRESHOLD",
+    "Adjustment",
+    "RateController",
+    "BufferEstimator",
+    "PlaybackBuffer",
+    "SATISFIED_CONTINUITY_THRESHOLD",
+    "ContinuityStats",
+    "is_satisfied",
+    "packet_continuity",
+    "satisfied_ratio",
+    "LIVERENDER_LIKE",
+    "CompressionModel",
+    "MultiplexConfig",
+    "PlayerOutcome",
+    "simulate_supernode",
+    "MosBreakdown",
+    "QoeModel",
+    "DEFAULT_SEGMENT_SECONDS",
+    "Segment",
+    "SessionConfig",
+    "SessionResult",
+    "estimate_continuity",
+    "simulate_session",
+    "stationary_level",
+    "FRAME_RATE_FPS",
+    "QUALITY_LADDER",
+    "QualityLevel",
+    "adjust_up_factor",
+    "get_level",
+    "level_for_latency_requirement",
+]

@@ -1,0 +1,98 @@
+"""Client playback buffer — Eqs. 8 and 9 of the paper.
+
+The player stores received segments and plays them back continuously.
+The receiver-driven adaptation strategy estimates the buffered video
+size at time t_k as::
+
+    s(t_k) = s(t_{k-1}) + (t_k - t_{k-1}) * (d(t_k) - b_p(t_k))      (8)
+
+(download rate minus playback rate integrated over the interval) and the
+number of buffered segments as ``r = s(t_k) / tau`` (9), where tau is
+the segment size.  This module provides both the *estimator* (used by
+the controller, which only sees rates) and the *actual* buffer state
+(used by the playback simulation to detect stalls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BufferEstimator", "PlaybackBuffer"]
+
+
+@dataclass
+class BufferEstimator:
+    """Rate-based buffered-size estimator (Eqs. 8–9).
+
+    The sizes are in *bits* of buffered video; ``segments`` converts to
+    segment counts through the current segment bit-size (level-dependent,
+    so the caller passes it in).
+    """
+
+    size_bits: float = 0.0
+    last_time_s: float = 0.0
+
+    def update(self, time_s: float, download_bps: float,
+               playback_bps: float) -> float:
+        """Advance the estimate to ``time_s`` and return the new size."""
+        if time_s < self.last_time_s:
+            raise ValueError(
+                f"time went backwards: {time_s} < {self.last_time_s}")
+        if download_bps < 0 or playback_bps < 0:
+            raise ValueError("rates must be non-negative")
+        elapsed = time_s - self.last_time_s
+        self.size_bits = max(
+            0.0, self.size_bits + elapsed * (download_bps - playback_bps))
+        self.last_time_s = time_s
+        return self.size_bits
+
+    def segments(self, segment_size_bits: float) -> float:
+        """Eq. 9: r = s(t_k) / tau (in current-level segment units)."""
+        if segment_size_bits <= 0:
+            raise ValueError("segment_size_bits must be positive")
+        return self.size_bits / segment_size_bits
+
+
+@dataclass
+class PlaybackBuffer:
+    """Actual buffered playable video, in seconds.
+
+    Tracks arrivals (whole segments) and continuous playback drain, and
+    counts stalls: instants at which playback wants to proceed but the
+    buffer is empty.
+    """
+
+    seconds: float = 0.0
+    total_stall_s: float = 0.0
+    stall_events: int = 0
+    _stalled: bool = field(default=False, repr=False)
+
+    def add_segment(self, duration_s: float) -> None:
+        """A segment of ``duration_s`` seconds of video arrived."""
+        if duration_s <= 0:
+            raise ValueError("segment duration must be positive")
+        self.seconds += duration_s
+        self._stalled = False
+
+    def play(self, elapsed_s: float) -> float:
+        """Drain ``elapsed_s`` of wall-clock playback.
+
+        Returns the stalled portion of the interval (time for which no
+        video was available).  Each transition into the stalled state
+        counts one stall event.
+        """
+        if elapsed_s < 0:
+            raise ValueError("elapsed time must be non-negative")
+        played = min(elapsed_s, self.seconds)
+        stalled = elapsed_s - played
+        self.seconds -= played
+        if stalled > 0:
+            if not self._stalled:
+                self.stall_events += 1
+                self._stalled = True
+            self.total_stall_s += stalled
+        return stalled
+
+    @property
+    def is_empty(self) -> bool:
+        return self.seconds <= 0

@@ -1,0 +1,46 @@
+"""Video segments: the unit of streaming, buffering and rating.
+
+A segment is ``duration`` seconds of encoded game video at one quality
+level; it consists of one packet per frame (30 fps, §4.1).  Segment size
+in bits follows directly from the level bitrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .video import FRAME_RATE_FPS, QualityLevel
+
+__all__ = ["Segment", "DEFAULT_SEGMENT_SECONDS"]
+
+#: Default segment duration τ (seconds of video per segment).
+DEFAULT_SEGMENT_SECONDS = 1.0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One encoded segment of game video."""
+
+    index: int
+    quality: QualityLevel
+    duration_s: float = DEFAULT_SEGMENT_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"segment index must be >= 0, got {self.index}")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+
+    @property
+    def size_bits(self) -> float:
+        """Encoded size: bitrate × duration."""
+        return self.quality.bitrate_bps * self.duration_s
+
+    @property
+    def packet_count(self) -> int:
+        """One packet per frame at 30 fps."""
+        return max(1, round(self.duration_s * FRAME_RATE_FPS))
+
+    @property
+    def packet_size_bits(self) -> float:
+        return self.size_bits / self.packet_count

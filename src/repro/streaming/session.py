@@ -1,0 +1,314 @@
+"""Streaming sessions: detailed (discrete-event) and fast (estimated).
+
+Two fidelities, consistent with each other:
+
+* :func:`simulate_session` runs a full discrete-event session on the
+  :mod:`repro.sim` engine: a sender process paces segments at the
+  controller's current quality level through an M/D/1-style sender
+  queue, a receiver updates the playback buffer and the Eq. 8–9
+  estimate, and the rate controller adjusts the level with hysteresis.
+  Per-packet response latencies are recorded against the game's budget.
+  Used by the encoding-rate-adaptation experiments (Fig. 11).
+
+* :func:`estimate_continuity` computes the same session's continuity in
+  closed form (stationary adaptation level + sampled per-packet
+  delays).  Used by the macro experiments, where hundreds of thousands
+  of sessions per run make the event-level path too slow.  A test pins
+  the two against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..network.transport import PathSpec, TransportModel
+from ..sim.engine import Environment
+from .adaptation import RateController
+from .buffer import BufferEstimator, PlaybackBuffer
+from .continuity import ContinuityStats
+from .segments import DEFAULT_SEGMENT_SECONDS, Segment
+from .video import get_level, level_for_latency_requirement
+
+__all__ = ["SessionConfig", "SessionResult", "simulate_session",
+           "estimate_continuity"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything one streaming session needs."""
+
+    #: The game's total response-latency requirement (ms).
+    response_budget_ms: float
+    #: Latency tolerance degree rho of the game (Table 2).
+    tolerance: float
+    #: Downstream delivery path (renderer -> player).
+    path: PathSpec
+    #: Upstream one-way latency of the action leg (player -> cloud), ms.
+    upstream_one_way_ms: float
+    #: Fixed playout + processing delay (ms).
+    processing_ms: float = 20.0
+    #: Sender upload utilisation from concurrently served players.
+    sender_utilization: float = 0.0
+    #: Session length in seconds of video.
+    duration_s: float = 60.0
+    #: Segment duration tau.
+    segment_s: float = DEFAULT_SEGMENT_SECONDS
+    #: Receiver-driven adaptation on/off.
+    adaptive: bool = True
+    #: Adjust-down threshold theta.
+    theta: float = 1.5
+    #: Consecutive estimates required before adjusting.
+    hysteresis: int = 3
+
+    def __post_init__(self) -> None:
+        if self.response_budget_ms <= 0:
+            raise ValueError("response budget must be positive")
+        if self.duration_s <= 0 or self.segment_s <= 0:
+            raise ValueError("durations must be positive")
+        if self.upstream_one_way_ms < 0 or self.processing_ms < 0:
+            raise ValueError("latencies must be non-negative")
+
+    @property
+    def network_budget_ms(self) -> float:
+        """Downstream packet deadline implied by the total budget."""
+        return max(1.0, self.response_budget_ms
+                   - self.upstream_one_way_ms - self.processing_ms)
+
+    def initial_level(self) -> int:
+        return level_for_latency_requirement(self.response_budget_ms).level
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Outcome of one streaming session."""
+
+    stats: ContinuityStats
+    mean_response_latency_ms: float
+    final_level: int
+    mean_bitrate_kbps: float
+    adjustments: int
+
+    @property
+    def continuity(self) -> float:
+        return self.stats.continuity
+
+    @property
+    def satisfied(self) -> bool:
+        return self.stats.satisfied
+
+
+def _packet_delays_ms(segment: Segment, path: PathSpec,
+                      transport: TransportModel, utilization: float,
+                      queue_free_at_ms: float, gen_start_ms: float,
+                      rng: np.random.Generator) -> tuple[np.ndarray, float]:
+    """Per-packet one-way delays through the sender queue.
+
+    Packets are generated evenly across the segment (one per frame) and
+    serialised FIFO through the sender's upload at the congested service
+    rate; delay = queueing + service + propagation (+ jitter).  Returns
+    (delay array, updated queue-free time).
+    """
+    n = segment.packet_count
+    service_ms = transport.serialization_ms(
+        segment.packet_size_bits, path, utilization)
+    gen_times = gen_start_ms + np.arange(n) * (segment.duration_s * 1000.0 / n)
+    delays = np.empty(n, dtype=np.float64)
+    free_at = queue_free_at_ms
+    for i in range(n):
+        start = max(gen_times[i], free_at)
+        free_at = start + service_ms
+        delays[i] = free_at - gen_times[i] + path.one_way_latency_ms
+    if transport.jitter_fraction > 0:
+        delays *= rng.uniform(1.0 - transport.jitter_fraction,
+                              1.0 + transport.jitter_fraction, size=n)
+    return delays, free_at
+
+
+def simulate_session(config: SessionConfig,
+                     rng: np.random.Generator,
+                     transport: TransportModel | None = None) -> SessionResult:
+    """Run one event-level streaming session and return its QoS."""
+    transport = transport or TransportModel()
+    env = Environment()
+    controller = RateController(
+        initial_level=config.initial_level(),
+        tolerance=config.tolerance,
+        theta=config.theta,
+        hysteresis=config.hysteresis,
+        enabled=config.adaptive,
+    )
+    # The client prebuffers before playback starts; the estimator opens
+    # midway between the adjust-down and adjust-up thresholds so the
+    # controller reacts to sustained rate imbalance, not to a cold start.
+    initial_segment_bits = (get_level(config.initial_level()).bitrate_bps
+                            * config.segment_s)
+    prebuffer_segments = 0.5 * (controller.down_threshold
+                                + controller.up_threshold)
+    estimator = BufferEstimator(
+        size_bits=prebuffer_segments * initial_segment_bits)
+    playback = PlaybackBuffer()
+    playback.add_segment(prebuffer_segments * config.segment_s)
+
+    num_segments = max(1, round(config.duration_s / config.segment_s))
+    response_latencies: list[float] = []
+    losses: list[bool] = []
+    bitrates: list[float] = []
+    state = {"queue_free_ms": 0.0, "last_arrival_ms": 0.0, "epoch": 0}
+
+    def sender(env: Environment):
+        previous_level = controller.level
+        for index in range(num_segments):
+            if controller.level < previous_level:
+                # Adapt-down flushes the stale high-bitrate backlog: the
+                # encoder switches immediately and late frames are
+                # skipped rather than delivered (§3.3: players "prefer
+                # fluent play of the game though the game video gets a
+                # bit blur").  The skipped packets were already counted
+                # as late; bumping the epoch voids their in-flight
+                # deliveries so they do not refill the buffer later.
+                state["queue_free_ms"] = env.now * 1000.0
+                state["epoch"] += 1
+            previous_level = controller.level
+            level = get_level(controller.level)
+            segment = Segment(index, level, config.segment_s)
+            bitrates.append(level.bitrate_kbps)
+            gen_ms = env.now * 1000.0
+            delays, state["queue_free_ms"] = _packet_delays_ms(
+                segment, config.path, transport, config.sender_utilization,
+                state["queue_free_ms"], gen_ms, rng)
+            loss_mask = transport.sample_losses(
+                segment.packet_count, config.sender_utilization, rng)
+            for delay, lost in zip(delays, loss_mask):
+                response_latencies.append(
+                    config.upstream_one_way_ms + float(delay)
+                    + config.processing_ms)
+                losses.append(bool(lost))
+            # The receiver sees the whole segment once its last packet
+            # lands.
+            arrival_offset_s = (segment.duration_s
+                                + float(delays.max()) / 1000.0)
+            env.process(receiver(env, segment, arrival_offset_s,
+                                 state["epoch"]))
+            yield env.timeout(config.segment_s)
+
+    def receiver(env: Environment, segment: Segment, arrival_offset_s: float,
+                 epoch: int):
+        yield env.timeout(arrival_offset_s)
+        if epoch != state["epoch"]:
+            return  # flushed: the sender skipped these frames
+        playback.add_segment(segment.duration_s)
+        now_s = env.now
+        elapsed = now_s - state["last_arrival_ms"] / 1000.0
+        download_bps = segment.size_bits / elapsed if elapsed > 0 else 0.0
+        state["last_arrival_ms"] = now_s * 1000.0
+        estimator.update(now_s, download_bps, segment.quality.bitrate_bps)
+        controller.observe(estimator.segments(segment.size_bits))
+
+    def playout(env: Environment):
+        # Playback starts after one segment of prebuffer time.
+        yield env.timeout(config.segment_s)
+        step = config.segment_s / 4.0
+        while env.now < config.duration_s + config.segment_s:
+            playback.play(step)
+            yield env.timeout(step)
+
+    env.process(sender(env))
+    env.process(playout(env))
+    env.run(until=config.duration_s + 4.0 * config.segment_s)
+
+    latencies = np.asarray(response_latencies)
+    lost = np.asarray(losses, dtype=bool)
+    on_time = int(((latencies <= config.response_budget_ms) & ~lost).sum())
+    stats = ContinuityStats(
+        packets_total=int(latencies.size),
+        packets_on_time=on_time,
+        stall_events=playback.stall_events,
+        total_stall_s=playback.total_stall_s,
+    )
+    return SessionResult(
+        stats=stats,
+        mean_response_latency_ms=float(latencies.mean()) if latencies.size else 0.0,
+        final_level=controller.level,
+        mean_bitrate_kbps=float(np.mean(bitrates)) if bitrates else 0.0,
+        adjustments=controller.adjustments,
+    )
+
+
+def stationary_level(config: SessionConfig,
+                     transport: TransportModel | None = None) -> int:
+    """The level adaptation settles at for a given path and load.
+
+    Adapt-down fires while the stream bitrate exceeds what the congested
+    bottleneck sustains (with a safety margin matching the controller's
+    proactive down-threshold); adapt-up never exceeds the game's fitting
+    level.  Without adaptation the level is pinned at the game default.
+    """
+    transport = transport or TransportModel()
+    level = config.initial_level()
+    if not config.adaptive:
+        return level
+    # Waiting inflates delay, not throughput, but a controller adapting
+    # on buffer estimates effectively backs off once queueing builds, so
+    # the sustainable rate discounts the congestion factor.
+    sustainable_mbps = (transport.effective_throughput_mbps(config.path)
+                        / transport.congestion_factor(config.sender_utilization))
+    while level > 1:
+        bitrate_mbps = get_level(level).bitrate_bps / 1e6
+        if bitrate_mbps <= 0.9 * sustainable_mbps:
+            break
+        level -= 1
+    return level
+
+
+def estimate_continuity(config: SessionConfig,
+                        rng: np.random.Generator,
+                        transport: TransportModel | None = None,
+                        n_samples: int = 128) -> SessionResult:
+    """Closed-form session estimate consistent with the event-level path.
+
+    1. Find the stationary adaptation level.
+    2. The deliverable packet share is capped by bottleneck throughput /
+       stream bitrate (a persistently oversubscribed queue makes the
+       excess share late no matter what).
+    3. Sample per-packet delays (service + propagation + jitter) and
+       losses; continuity = deliverable share x on-time share.
+    """
+    transport = transport or TransportModel()
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    level = stationary_level(config, transport)
+    quality = get_level(level)
+    segment = Segment(0, quality, config.segment_s)
+
+    service_ms = transport.serialization_ms(
+        segment.packet_size_bits, config.path, config.sender_utilization)
+    throughput_mbps = transport.effective_throughput_mbps(config.path)
+    deliverable = min(1.0, throughput_mbps / (quality.bitrate_bps / 1e6))
+
+    delays = np.full(n_samples, config.path.one_way_latency_ms + service_ms)
+    if transport.jitter_fraction > 0:
+        delays = delays * rng.uniform(1.0 - transport.jitter_fraction,
+                                      1.0 + transport.jitter_fraction,
+                                      size=n_samples)
+    lost = transport.sample_losses(n_samples, config.sender_utilization, rng)
+    responses = config.upstream_one_way_ms + delays + config.processing_ms
+    on_time_share = float(((responses <= config.response_budget_ms) & ~lost).mean())
+    continuity = deliverable * on_time_share
+
+    total_packets = int(round(config.duration_s / config.segment_s)
+                        * segment.packet_count)
+    stats = ContinuityStats(
+        packets_total=max(total_packets, 1),
+        packets_on_time=int(round(continuity * max(total_packets, 1))),
+        stall_events=0 if continuity > 0.9 else 1,
+        total_stall_s=max(0.0, (1.0 - deliverable) * config.duration_s),
+    )
+    return SessionResult(
+        stats=stats,
+        mean_response_latency_ms=float(responses.mean()),
+        final_level=level,
+        mean_bitrate_kbps=float(quality.bitrate_kbps),
+        adjustments=abs(config.initial_level() - level),
+    )

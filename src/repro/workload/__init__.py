@@ -1,0 +1,26 @@
+"""Workload substrate: games, churn, populations."""
+
+from .churn import (
+    ArrivalProcess,
+    DurationMixture,
+    PlayerDayPlan,
+    StartTimeModel,
+    sample_day_plans,
+)
+from .games import GAME_CATALOGUE, Game, game_for_level, random_game
+from .population import Population, build_population, choose_game
+
+__all__ = [
+    "ArrivalProcess",
+    "DurationMixture",
+    "PlayerDayPlan",
+    "StartTimeModel",
+    "sample_day_plans",
+    "GAME_CATALOGUE",
+    "Game",
+    "game_for_level",
+    "random_game",
+    "Population",
+    "build_population",
+    "choose_game",
+]

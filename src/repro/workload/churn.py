@@ -1,0 +1,150 @@
+"""Player churn: session start times, durations and arrival processes.
+
+§4.1's workload settings:
+
+* play-duration mixture [48]: 50 % of players play (0, 2] hours a day,
+  30 % play (2, 5] hours and 20 % play (5, 24] hours;
+* session start: probability 30 % uniformly in subcycles [1, 19] and
+  70 % in the peak subcycles [20, 24];
+* joins follow a Poisson process (5 players/second in the full-scale
+  simulation; the provisioning experiments sweep peak-hour rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DurationMixture", "StartTimeModel", "ArrivalProcess",
+           "PlayerDayPlan", "sample_day_plans"]
+
+
+@dataclass(frozen=True)
+class DurationMixture:
+    """The 50/30/20 daily play-duration mixture (hours)."""
+
+    short_share: float = 0.5    # (0, 2] h
+    medium_share: float = 0.3   # (2, 5] h
+    long_share: float = 0.2     # (5, 24] h
+
+    def __post_init__(self) -> None:
+        total = self.short_share + self.medium_share + self.long_share
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"shares must sum to 1, got {total}")
+        if min(self.short_share, self.medium_share, self.long_share) < 0:
+            raise ValueError("shares must be non-negative")
+
+    def sample_hours(self, rng: np.random.Generator,
+                     n: int | None = None) -> np.ndarray | float:
+        """Daily play hours for n players (uniform inside each band)."""
+        size = 1 if n is None else n
+        bands = rng.choice(3, size=size, p=[self.short_share,
+                                            self.medium_share,
+                                            self.long_share])
+        low = np.array([0.0, 2.0, 5.0])[bands]
+        high = np.array([2.0, 5.0, 24.0])[bands]
+        hours = rng.uniform(low, high)
+        return float(hours[0]) if n is None else hours
+
+
+@dataclass(frozen=True)
+class StartTimeModel:
+    """Start subcycle: 30 % in [1, 19], 70 % in the peak [20, 24]."""
+
+    offpeak_share: float = 0.3
+    offpeak_range: tuple[int, int] = (1, 19)
+    peak_range: tuple[int, int] = (20, 24)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.offpeak_share <= 1:
+            raise ValueError("offpeak_share must lie in [0, 1]")
+        for lo, hi in (self.offpeak_range, self.peak_range):
+            if lo > hi or lo < 1:
+                raise ValueError("subcycle ranges must be 1-based and ordered")
+
+    def sample_subcycles(self, rng: np.random.Generator,
+                         n: int | None = None) -> np.ndarray | int:
+        """1-based start subcycles for n players."""
+        size = 1 if n is None else n
+        peak = rng.random(size) >= self.offpeak_share
+        lo_off, hi_off = self.offpeak_range
+        lo_peak, hi_peak = self.peak_range
+        starts = np.where(
+            peak,
+            rng.integers(lo_peak, hi_peak + 1, size=size),
+            rng.integers(lo_off, hi_off + 1, size=size))
+        return int(starts[0]) if n is None else starts
+
+
+@dataclass(frozen=True)
+class ArrivalProcess:
+    """Poisson joins with distinct peak / off-peak rates (per minute)."""
+
+    offpeak_rate_per_min: float = 5.0
+    peak_rate_per_min: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.offpeak_rate_per_min < 0 or self.peak_rate_per_min < 0:
+            raise ValueError("rates must be non-negative")
+
+    def rate_for(self, is_peak: bool) -> float:
+        return self.peak_rate_per_min if is_peak else self.offpeak_rate_per_min
+
+    def sample_arrivals(self, rng: np.random.Generator, is_peak: bool,
+                        minutes: float = 60.0) -> int:
+        """Number of joins in an interval (Poisson)."""
+        if minutes < 0:
+            raise ValueError("minutes must be non-negative")
+        return int(rng.poisson(self.rate_for(is_peak) * minutes))
+
+    def sample_interarrival_s(self, rng: np.random.Generator,
+                              is_peak: bool) -> float:
+        """Exponential gap between two joins, in seconds."""
+        rate = self.rate_for(is_peak)
+        if rate == 0:
+            return float("inf")
+        return float(rng.exponential(60.0 / rate))
+
+
+@dataclass(frozen=True)
+class PlayerDayPlan:
+    """One player's gaming plan for one day."""
+
+    player: int
+    start_subcycle: int       # 1-based
+    duration_hours: float
+
+    def __post_init__(self) -> None:
+        if self.start_subcycle < 1:
+            raise ValueError("start_subcycle is 1-based")
+        if self.duration_hours <= 0:
+            raise ValueError("duration must be positive")
+
+    def online_at(self, subcycle: int) -> bool:
+        """Is the player online during a (1-based) subcycle?
+
+        Sessions run for ceil(duration) whole subcycles and do not wrap
+        past midnight (each cycle is one day's activities, §4.1).
+        """
+        if subcycle < 1:
+            raise ValueError("subcycle is 1-based")
+        end = self.start_subcycle + int(np.ceil(self.duration_hours)) - 1
+        return self.start_subcycle <= subcycle <= end
+
+
+def sample_day_plans(rng: np.random.Generator, players: np.ndarray,
+                     durations: DurationMixture | None = None,
+                     starts: StartTimeModel | None = None
+                     ) -> list[PlayerDayPlan]:
+    """Sample one day's plans for a set of player ids."""
+    durations = durations or DurationMixture()
+    starts = starts or StartTimeModel()
+    players = np.asarray(players, dtype=np.int64)
+    n = len(players)
+    if n == 0:
+        return []
+    hours = np.atleast_1d(durations.sample_hours(rng, n))
+    subcycles = np.atleast_1d(starts.sample_subcycles(rng, n))
+    return [PlayerDayPlan(int(p), int(s), float(max(h, 1e-3)))
+            for p, s, h in zip(players, subcycles, hours)]

@@ -1,0 +1,86 @@
+"""Tests for system configuration and variant constructors."""
+
+import pytest
+
+from repro.core.config import (
+    StrategyFlags,
+    SystemConfig,
+    cdn,
+    cloud_only,
+    cloudfog_advanced,
+    cloudfog_basic,
+)
+
+
+def test_strategy_flag_presets():
+    assert not any([StrategyFlags.none().reputation_selection,
+                    StrategyFlags.none().rate_adaptation,
+                    StrategyFlags.none().social_assignment,
+                    StrategyFlags.none().dynamic_provisioning])
+    all_flags = StrategyFlags.all()
+    assert all_flags.reputation_selection and all_flags.rate_adaptation
+    assert all_flags.social_assignment and all_flags.dynamic_provisioning
+
+
+def test_cloudfog_basic_has_no_strategies():
+    config = cloudfog_basic()
+    assert config.mode == "cloudfog"
+    assert config.strategies == StrategyFlags.none()
+
+
+def test_cloudfog_advanced_has_all_strategies():
+    config = cloudfog_advanced()
+    assert config.mode == "cloudfog"
+    assert config.strategies == StrategyFlags.all()
+
+
+def test_cloud_only_has_no_supernodes():
+    config = cloud_only()
+    assert config.mode == "cloud"
+    assert config.num_supernodes == 0
+
+
+def test_cdn_constructor_sets_server_count():
+    config = cdn(45)
+    assert config.mode == "cdn"
+    assert config.num_cdn_servers == 45
+    assert config.num_supernodes == 0
+
+
+def test_with_creates_modified_copy():
+    config = cloudfog_basic(num_players=100)
+    modified = config.with_(num_players=200, seed=7)
+    assert config.num_players == 100
+    assert modified.num_players == 200
+    assert modified.seed == 7
+    assert modified.mode == config.mode
+
+
+def test_paper_defaults():
+    config = SystemConfig()
+    assert config.servers_per_datacenter == 50      # §4.1
+    assert config.throttle_80_share == pytest.approx(1 / 5)   # §4.1
+    assert config.throttle_50_share == pytest.approx(1 / 10)  # §4.1
+    assert config.throttle_probability == 0.5       # §4.1
+    assert config.schedule.days == 28               # §4.1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SystemConfig(num_players=0)
+    with pytest.raises(ValueError):
+        SystemConfig(num_datacenters=0)
+    with pytest.raises(ValueError):
+        SystemConfig(num_supernodes=-1)
+    with pytest.raises(ValueError):
+        SystemConfig(mode="peer2peer")
+    with pytest.raises(ValueError):
+        SystemConfig(candidate_count=0)
+    with pytest.raises(ValueError):
+        SystemConfig(aging_factor=1.0)
+    with pytest.raises(ValueError):
+        SystemConfig(throttle_80_share=0.7, throttle_50_share=0.5)
+    with pytest.raises(ValueError):
+        SystemConfig(provisioning_epsilon=-0.1)
+    with pytest.raises(ValueError):
+        SystemConfig(provisioning_window_hours=0)

@@ -1,0 +1,167 @@
+"""Tests for reputation-based supernode selection (§3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.entities import Supernode
+from repro.core.selection import (
+    SupernodeDirectory,
+    delay_threshold_ms,
+    select_supernode,
+)
+from repro.network.topology import build_topology
+from repro.reputation.ratings import RatingLedger
+from repro.reputation.scores import ReputationTable
+
+
+@pytest.fixture()
+def topology():
+    return build_topology(np.random.default_rng(0), num_players=50,
+                          num_datacenters=2)
+
+
+def make_supernodes(topology, hosts, capacity=5):
+    return [
+        Supernode(supernode_id=i, host_player=h, capacity=capacity,
+                  upload_mbps=10.0, access_ms=4.0,
+                  x_km=float(topology.player_coords[h, 0]),
+                  y_km=float(topology.player_coords[h, 1]))
+        for i, h in enumerate(hosts)]
+
+
+def test_delay_threshold_subtracts_margin():
+    assert delay_threshold_ms(90.0, margin_ms=12.0) == pytest.approx(78.0)
+    assert delay_threshold_ms(10.0, margin_ms=12.0) == 5.0  # floored
+    with pytest.raises(ValueError):
+        delay_threshold_ms(0.0)
+    with pytest.raises(ValueError):
+        delay_threshold_ms(50.0, margin_ms=-1.0)
+
+
+def test_directory_candidates_are_nearest_available(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2, 3, 4, 5])
+    directory = SupernodeDirectory(topology, supernodes)
+    candidates = directory.candidates_for(player=0, count=3)
+    assert len(candidates) == 3
+    # They must be the 3 closest by geography.
+    distances = [topology.player_distance(0, supernodes[i].host_player)
+                 for i in range(5)]
+    expected = {int(i) for i in np.argsort(distances)[:3]}
+    assert {sn.supernode_id for sn in candidates} == expected
+
+
+def test_directory_skips_full_supernodes(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2], capacity=1)
+    supernodes[0].connect(99)
+    directory = SupernodeDirectory(topology, supernodes)
+    assert [sn.supernode_id for sn in directory.candidates_for(0, 5)] == [1]
+
+
+def test_directory_count_validation(topology):
+    directory = SupernodeDirectory(topology, [])
+    with pytest.raises(ValueError):
+        directory.candidates_for(0, 0)
+    assert directory.candidates_for(0, 3) == []
+    assert directory.probe_delays_ms(0, []).shape == (0,)
+
+
+def test_selection_connects_to_qualified_supernode(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2, 3])
+    directory = SupernodeDirectory(topology, supernodes)
+    rng = np.random.default_rng(0)
+    outcome = select_supernode(0, directory, l_max_ms=500.0, rng=rng)
+    assert outcome.supernode_id is not None
+    assert not outcome.used_cloud
+    assert supernodes[outcome.supernode_id].load == 1
+    assert outcome.join_latency_ms > 0
+    assert outcome.downstream_one_way_ms <= 500.0
+
+
+def test_selection_falls_back_to_cloud_when_all_too_far(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2, 3])
+    directory = SupernodeDirectory(topology, supernodes)
+    rng = np.random.default_rng(0)
+    outcome = select_supernode(0, directory, l_max_ms=0.001 + 5.0 - 4.999,
+                               rng=rng)
+    # l_max so small nothing qualifies.
+    assert outcome.used_cloud
+    assert all(sn.load == 0 for sn in supernodes)
+
+
+def test_selection_rejects_bad_l_max(topology):
+    directory = SupernodeDirectory(topology, [])
+    with pytest.raises(ValueError):
+        select_supernode(0, directory, l_max_ms=0.0,
+                         rng=np.random.default_rng(0))
+
+
+def test_selection_prefers_high_reputation(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2, 3])
+    directory = SupernodeDirectory(topology, supernodes)
+    ledger = RatingLedger()
+    # Player 0 had great sessions with supernode 2, bad with the others.
+    ledger.add(0, 2, 0.99, day=0)
+    ledger.add(0, 0, 0.10, day=0)
+    ledger.add(0, 1, 0.10, day=0)
+    table = ReputationTable(ledger)
+    table.refresh(0, today=0)
+    outcome = select_supernode(0, directory, l_max_ms=500.0,
+                               rng=np.random.default_rng(0),
+                               reputation=table)
+    assert outcome.supernode_id == 2
+
+
+def test_selection_random_without_reputation_varies(topology):
+    """CloudFog/B picks randomly among qualified candidates."""
+    picks = set()
+    for seed in range(20):
+        supernodes = make_supernodes(topology, hosts=[1, 2, 3])
+        directory = SupernodeDirectory(topology, supernodes)
+        outcome = select_supernode(0, directory, l_max_ms=500.0,
+                                   rng=np.random.default_rng(seed))
+        picks.add(outcome.supernode_id)
+    assert len(picks) >= 2
+
+
+def test_sequential_ask_skips_filled_candidate(topology):
+    """§3.2.2: a candidate may fill up between cloud answer and connect."""
+    supernodes = make_supernodes(topology, hosts=[1, 2], capacity=1)
+    directory = SupernodeDirectory(topology, supernodes)
+    ledger = RatingLedger()
+    ledger.add(0, 0, 0.9, day=0)  # player 0 loves supernode 0
+    table = ReputationTable(ledger)
+    table.refresh(0, today=0)
+    # Fill supernode 0 after the directory snapshot.
+    supernodes[0].connect(42)
+    outcome = select_supernode(0, directory, l_max_ms=500.0,
+                               rng=np.random.default_rng(0),
+                               reputation=table)
+    assert outcome.supernode_id == 1
+
+
+def test_no_capacity_anywhere_falls_back_to_cloud(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2], capacity=1)
+    directory = SupernodeDirectory(topology, supernodes)
+    for sn in supernodes:
+        sn.connect(90 + sn.supernode_id)
+    outcome = select_supernode(0, directory, l_max_ms=500.0,
+                               rng=np.random.default_rng(0))
+    assert outcome.used_cloud
+
+
+def test_join_latency_includes_cloud_round_trip(topology):
+    supernodes = make_supernodes(topology, hosts=[1])
+    directory = SupernodeDirectory(topology, supernodes)
+    outcome = select_supernode(0, directory, l_max_ms=500.0,
+                               rng=np.random.default_rng(0),
+                               cloud_rtt_ms=123.0)
+    assert outcome.join_latency_ms >= 123.0
+
+
+def test_directory_rebuild_replaces_set(topology):
+    supernodes = make_supernodes(topology, hosts=[1, 2, 3])
+    directory = SupernodeDirectory(topology, supernodes)
+    assert len(directory) == 3
+    directory.rebuild(supernodes[:1])
+    assert len(directory) == 1
+    assert [sn.supernode_id for sn in directory.candidates_for(0, 5)] == [0]

@@ -1,0 +1,182 @@
+"""Tests for the CloudFogSystem orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CloudFogSystem,
+    ConnectionKind,
+    cdn,
+    cloud_only,
+    cloudfog_advanced,
+    cloudfog_basic,
+)
+
+SMALL = dict(num_players=150, num_supernodes=12, seed=3)
+
+
+@pytest.fixture(scope="module")
+def basic_result():
+    system = CloudFogSystem(cloudfog_basic(**SMALL))
+    return system, system.run(days=2)
+
+
+def test_run_produces_measured_days(basic_result):
+    _, result = basic_result
+    assert len(result.days) >= 1
+    day = result.days[-1]
+    assert day.online_players > 0
+    assert day.online_players == day.supernode_players + day.cloud_players
+
+
+def test_sessions_recorded_with_valid_fields(basic_result):
+    _, result = basic_result
+    assert result.sessions
+    for record in result.sessions[:50]:
+        assert 0.0 <= record.continuity <= 1.0
+        assert record.response_latency_ms > 0
+        assert record.server_latency_ms >= 0
+        assert record.kind in (ConnectionKind.SUPERNODE, ConnectionKind.CLOUD)
+
+
+def test_some_players_use_supernodes(basic_result):
+    _, result = basic_result
+    kinds = {r.kind for r in result.sessions}
+    assert ConnectionKind.SUPERNODE in kinds
+
+
+def test_join_latencies_collected(basic_result):
+    _, result = basic_result
+    assert result.join_latencies_ms
+    assert all(lat > 0 for lat in result.join_latencies_ms)
+    assert np.mean(result.join_latencies_ms) < 1000.0  # sub-second joins
+
+
+def test_supernode_join_latency_low(basic_result):
+    _, result = basic_result
+    assert result.supernode_join_latencies_ms
+    # Supernodes only need to contact the cloud (§4.2).
+    assert np.mean(result.supernode_join_latencies_ms) < 500.0
+
+
+def test_assignment_wall_times_recorded(basic_result):
+    _, result = basic_result
+    assert result.assignment_wall_times_s
+    assert all(t >= 0 for t in result.assignment_wall_times_s)
+
+
+def test_supernode_loads_respect_capacity(basic_result):
+    system, _ = basic_result
+    for sn in system.supernode_pool:
+        assert sn.load <= sn.capacity
+
+
+def test_same_seed_reproduces_run():
+    a = CloudFogSystem(cloudfog_basic(**SMALL)).run(days=2)
+    b = CloudFogSystem(cloudfog_basic(**SMALL)).run(days=2)
+    assert a.mean_response_latency_ms == b.mean_response_latency_ms
+    assert a.mean_continuity == b.mean_continuity
+    assert a.mean_cloud_bandwidth_mbps == b.mean_cloud_bandwidth_mbps
+
+
+def test_cloud_mode_never_uses_supernodes():
+    result = CloudFogSystem(cloud_only(num_players=100, seed=3)).run(days=2)
+    assert result.supernode_coverage == 0.0
+    assert all(r.kind is ConnectionKind.CLOUD for r in result.sessions)
+
+
+def test_cdn_mode_uses_cdn_and_cloud():
+    result = CloudFogSystem(cdn(10, num_players=150, seed=3)).run(days=2)
+    kinds = {r.kind for r in result.sessions}
+    assert ConnectionKind.CDN in kinds
+    assert ConnectionKind.SUPERNODE not in kinds
+
+
+def test_cdn_server_latency_is_coordination_penalty():
+    result = CloudFogSystem(cdn(10, num_players=100, seed=3)).run(days=2)
+    cdn_sessions = [r for r in result.sessions
+                    if r.kind is ConnectionKind.CDN]
+    assert cdn_sessions
+    from repro.core.system import CDN_COORDINATION_MS
+    assert all(r.server_latency_ms == CDN_COORDINATION_MS
+               for r in cdn_sessions)
+
+
+def test_cloud_bandwidth_higher_without_fog():
+    fog = CloudFogSystem(cloudfog_basic(**SMALL)).run(days=2)
+    bare = CloudFogSystem(cloud_only(num_players=150, seed=3)).run(days=2)
+    assert bare.mean_cloud_bandwidth_mbps > fog.mean_cloud_bandwidth_mbps
+
+
+def test_reputation_accumulates_ratings(basic_result):
+    system, _ = basic_result
+    assert system.ledger.total_ratings() > 0
+
+
+def test_fail_supernodes_migrates_players():
+    system = CloudFogSystem(cloudfog_basic(**SMALL))
+    system.run(days=1)
+    # Re-create a day's connections so supernodes hold players.
+    rng = np.random.default_rng(0)
+    plans = system._sample_plans(rng)
+    system._choose_games(plans, rng)
+    from repro.core.system import RunResult
+    system._sweep_day(plans, rng, RunResult(), measuring=False)
+    # Re-connect one player to every live supernode so any failure
+    # displaces someone.
+    next_player = 0
+    for sn in list(system.live_supernodes):
+        if sn.has_capacity:
+            while next_player in sn.connected:
+                next_player += 1
+            sn.connect(next_player)
+            next_player += 1
+    latencies = system.fail_supernodes(len(system.live_supernodes), rng)
+    assert latencies
+    # ~0.8 s migrations: detection dominates, everything under ~2 s.
+    assert all(500.0 <= lat <= 2000.0 for lat in latencies)
+    assert len(system.live_supernodes) <= 12 - 3 + 1
+
+
+def test_fail_supernodes_validation():
+    system = CloudFogSystem(cloudfog_basic(**SMALL))
+    with pytest.raises(ValueError):
+        system.fail_supernodes(-1, np.random.default_rng(0))
+    bare = CloudFogSystem(cloud_only(num_players=50, seed=1))
+    assert bare.fail_supernodes(2, np.random.default_rng(0)) == []
+
+
+def test_daily_participants_override():
+    system = CloudFogSystem(cloudfog_basic(**SMALL))
+    system.daily_participants = 30
+    result = system.run(days=2)
+    assert all(d.online_players <= 30 for d in result.days)
+
+
+def test_empty_result_properties_raise():
+    from repro.core.system import RunResult
+    with pytest.raises(ValueError):
+        _ = RunResult().mean_continuity
+
+
+def test_arrival_rates_drive_participation():
+    system = CloudFogSystem(cloudfog_basic(**SMALL))
+    system.set_arrival_rates(offpeak_per_min=0.05, peak_per_min=0.2)
+    # 0.05*60*19 + 0.2*60*5 = 57 + 60 = 117 participants baseline.
+    assert system.daily_participants == 117
+    result = system.run(days=2)
+    assert all(d.online_players <= 150 for d in result.days)
+    with pytest.raises(ValueError):
+        system.set_arrival_rates(-1.0, 1.0)
+    with pytest.raises(ValueError):
+        system.set_arrival_rates(0.0, 0.0)
+
+
+def test_weekly_weights_modulate_daily_participants():
+    system = CloudFogSystem(cloudfog_basic(num_players=2000,
+                                           num_supernodes=12, seed=3))
+    system.set_arrival_rates(offpeak_per_min=0.5, peak_per_min=1.0)
+    rng = np.random.default_rng(0)
+    midweek = len(system._sample_plans(rng, day=0))   # weight 0.92
+    saturday = len(system._sample_plans(rng, day=5))  # weight 1.12
+    assert saturday > midweek

@@ -1,0 +1,51 @@
+"""Tests for testbed presets."""
+
+import pytest
+
+from repro.experiments.testbeds import Testbed, peersim, planetlab
+
+
+def test_peersim_proportions():
+    testbed = peersim(0.01)
+    assert testbed.num_players == 1000
+    assert testbed.num_datacenters == 5          # §4.1
+    assert testbed.supernode_capable_share == 0.10
+    assert testbed.num_supernodes == 60
+
+
+def test_peersim_scaling():
+    assert peersim(0.1).num_players == 10_000
+    assert peersim(1.0).num_players == 100_000   # the paper's full scale
+    assert peersim(0.0001).num_players == 100    # floor
+
+
+def test_planetlab_preset():
+    testbed = planetlab()
+    assert testbed.num_players == 750            # §4.1
+    assert testbed.num_datacenters == 2          # Princeton + UCLA
+    assert testbed.supernode_capable_share == pytest.approx(0.40)
+    assert testbed.jitter_fraction > 0
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError):
+        peersim(0.0)
+    with pytest.raises(ValueError):
+        planetlab(-1.0)
+
+
+def test_testbed_validation():
+    with pytest.raises(ValueError):
+        Testbed("bad", 0, 1, 1, 0.1, 0.0)
+    with pytest.raises(ValueError):
+        Testbed("bad", 10, 1, -1, 0.1, 0.0)
+    with pytest.raises(ValueError):
+        Testbed("bad", 10, 1, 1, 1.5, 0.0)
+
+
+def test_config_kwargs_round_trip():
+    from repro.core.config import cloudfog_basic
+    testbed = peersim(0.01)
+    config = cloudfog_basic(**testbed.config_kwargs())
+    assert config.num_players == testbed.num_players
+    assert config.num_supernodes == testbed.num_supernodes

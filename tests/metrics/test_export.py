@@ -1,0 +1,64 @@
+"""Tests for result export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core import CloudFogSystem, cloudfog_basic
+from repro.metrics.export import (
+    export_days_csv,
+    export_run_jsonl,
+    export_sessions_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return CloudFogSystem(cloudfog_basic(num_players=80, num_supernodes=6,
+                                         seed=1)).run(days=2)
+
+
+def test_sessions_csv_round_trip(tmp_path, result):
+    path = tmp_path / "sessions.csv"
+    count = export_sessions_csv(result, path)
+    assert count == len(result.sessions)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == count
+    first = rows[0]
+    assert set(first) == {"day", "player", "game", "kind", "target",
+                          "response_latency_ms", "server_latency_ms",
+                          "continuity", "satisfied", "join_latency_ms"}
+    assert 0.0 <= float(first["continuity"]) <= 1.0
+
+
+def test_days_csv_round_trip(tmp_path, result):
+    path = tmp_path / "days.csv"
+    count = export_days_csv(result, path)
+    assert count == len(result.days)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert int(rows[-1]["online_players"]) == result.days[-1].online_players
+
+
+def test_jsonl_structure(tmp_path, result):
+    path = tmp_path / "run.jsonl"
+    lines = export_run_jsonl(result, path)
+    parsed = [json.loads(line) for line in path.read_text().splitlines()]
+    assert len(parsed) == lines
+    assert parsed[0]["type"] == "day"
+    kinds = {p["type"] for p in parsed}
+    assert kinds == {"day", "session"}
+    sessions = [p for p in parsed if p["type"] == "session"]
+    assert len(sessions) == len(result.sessions)
+
+
+def test_summary_table_renders(result):
+    table = result.summary_table()
+    text = table.render()
+    assert "satisfied ratio" in text
+    assert "cloud bandwidth" in text
+    metrics = dict(zip(table.column("metric"), table.column("value")))
+    assert metrics["mean continuity"] == pytest.approx(
+        result.mean_continuity)

@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.plots import render_bars
+from repro.metrics.tables import ResultTable
+
+
+def make_table():
+    table = ResultTable("Fig X", ["count", "cloud", "fog"])
+    table.add_row(1, 10.0, 2.0)
+    table.add_row(5, 20.0, 4.0)
+    return table
+
+
+def test_render_contains_labels_and_values():
+    text = render_bars(make_table())
+    assert "Fig X" in text
+    assert "cloud" in text and "fog" in text
+    assert "20" in text and "4" in text
+
+
+def test_bars_scale_with_shared_maximum():
+    text = render_bars(make_table(), width=20)
+    lines = [line for line in text.splitlines() if "|" in line]
+    # The 20.0 bar is full width; the 2.0 bar is a tenth of it.
+    bar_lengths = [line.split("|")[1].count("█") for line in lines]
+    assert max(bar_lengths) == 20
+    assert min(bar_lengths) == 2
+
+
+def test_non_numeric_columns_are_skipped():
+    table = ResultTable("t", ["name", "value", "note"])
+    table.add_row("a", 1.0, "text")
+    table.add_row("b", 2.0, "text")
+    text = render_bars(table)
+    assert "value" in text
+    assert "note" not in text.splitlines()[2]
+
+
+def test_zero_values_render():
+    table = ResultTable("t", ["x", "y"])
+    table.add_row(1, 0.0)
+    text = render_bars(table)
+    assert "|" in text
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        render_bars(make_table(), width=2)
+    with pytest.raises(ValueError):
+        render_bars(ResultTable("t", ["a"]))
+    with pytest.raises(ValueError):
+        render_bars(make_table(), label_column=9)
+    text_only = ResultTable("t", ["a", "b"])
+    text_only.add_row("x", "y")
+    with pytest.raises(ValueError):
+        render_bars(text_only)

@@ -1,0 +1,49 @@
+"""Tests for result tables."""
+
+import pytest
+
+from repro.metrics.tables import ResultTable
+
+
+def test_add_row_and_column_access():
+    table = ResultTable("t", ["x", "y"])
+    table.add_row(1, 2.0)
+    table.add_row(3, 4.0)
+    assert table.column("x") == [1, 3]
+    assert table.column("y") == [2.0, 4.0]
+
+
+def test_add_row_arity_checked():
+    table = ResultTable("t", ["x", "y"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_unknown_column_raises():
+    table = ResultTable("t", ["x"])
+    with pytest.raises(KeyError):
+        table.column("z")
+
+
+def test_render_contains_everything():
+    table = ResultTable("My Figure", ["system", "latency"])
+    table.add_row("Cloud", 123.456)
+    table.add_note("reduced scale")
+    text = table.render()
+    assert "My Figure" in text
+    assert "Cloud" in text
+    assert "123.456" in text
+    assert "note: reduced scale" in text
+
+
+def test_render_aligns_columns():
+    table = ResultTable("t", ["a", "bbbb"])
+    table.add_row("xxxxxx", 1.0)
+    lines = table.render().splitlines()
+    assert len(lines[1]) == len(lines[2])  # header width == rule width
+
+
+def test_str_matches_render():
+    table = ResultTable("t", ["a"])
+    table.add_row(1)
+    assert str(table) == table.render()

@@ -1,0 +1,96 @@
+"""Tests for view-dependent rendering / interest management."""
+
+import math
+
+import pytest
+
+from repro.cloud.gamestate import VirtualWorld
+from repro.rendering.view import (
+    Viewpoint,
+    relevant_players,
+    update_bits_for_interest,
+    visible_players,
+)
+
+
+def make_world(positions):
+    world = VirtualWorld()
+    for player, (x, y) in positions.items():
+        world.add_player(player, x=x, y=y)
+    return world
+
+
+def test_viewpoint_validation():
+    with pytest.raises(ValueError):
+        Viewpoint(0, 0, fov_rad=0.0)
+    with pytest.raises(ValueError):
+        Viewpoint(0, 0, range_units=0.0)
+
+
+def test_sees_respects_range():
+    view = Viewpoint(0, 0, fov_rad=math.tau, range_units=10.0)
+    assert view.sees(5.0, 0.0)
+    assert not view.sees(20.0, 0.0)
+    assert view.sees(0.0, 0.0)  # own position
+
+
+def test_sees_respects_field_of_view():
+    # Facing +x with a 90-degree cone.
+    view = Viewpoint(0, 0, facing_rad=0.0, fov_rad=math.pi / 2,
+                     range_units=100.0)
+    assert view.sees(10.0, 0.0)       # dead ahead
+    assert view.sees(10.0, 3.0)       # slightly off-axis
+    assert not view.sees(-10.0, 0.0)  # behind
+    assert not view.sees(0.0, 10.0)   # 90 degrees off, outside the cone
+
+
+def test_full_circle_fov_sees_everything_in_range():
+    view = Viewpoint(0, 0, fov_rad=math.tau, range_units=50.0)
+    assert view.sees(-30.0, 30.0)
+
+
+def test_visible_players_excludes_self():
+    world = make_world({1: (0, 0), 2: (5, 0), 3: (500, 0)})
+    view = Viewpoint(0, 0, fov_rad=math.tau, range_units=50.0)
+    assert visible_players(world, view, exclude=1) == {2}
+
+
+def test_relevant_players_union():
+    world = make_world({1: (0, 0), 2: (5, 0), 3: (100, 0), 4: (105, 0)})
+    views = [(1, Viewpoint(0, 0, fov_rad=math.tau, range_units=20.0)),
+             (3, Viewpoint(100, 0, fov_rad=math.tau, range_units=20.0))]
+    interest = relevant_players(world, views)
+    assert interest == {1, 2, 3, 4}
+
+
+def test_relevant_players_skips_absent_viewers():
+    world = make_world({2: (5, 0)})
+    views = [(1, Viewpoint(0, 0, fov_rad=math.tau, range_units=20.0))]
+    assert relevant_players(world, views) == {2}
+
+
+def test_update_bits_scale_with_relevant_changes():
+    world = VirtualWorld(bits_per_changed_avatar=400.0, heartbeat_bits=100.0)
+    interest = {1, 2, 3}
+    assert update_bits_for_interest(world, interest, {1, 2}) == 800.0
+    # Changes outside the interest set cost nothing beyond the heartbeat.
+    assert update_bits_for_interest(world, interest, {9}) == 100.0
+    assert update_bits_for_interest(world, set(), {1, 2}) == 100.0
+
+
+def test_interest_management_shrinks_update_traffic():
+    """A supernode whose players cluster needs far less than the full
+    world delta — the fog-scalability argument."""
+    world = VirtualWorld(bits_per_changed_avatar=400.0, heartbeat_bits=100.0)
+    positions = {p: (p * 10.0, 0.0) for p in range(50)}
+    for p, (x, y) in positions.items():
+        world.add_player(p, x=x, y=y)
+    # This supernode serves players 0-4, clustered at the origin.
+    views = [(p, Viewpoint(p * 10.0, 0.0, fov_rad=math.tau,
+                           range_units=25.0)) for p in range(5)]
+    interest = relevant_players(world, views)
+    everything_changed = set(range(50))
+    focused = update_bits_for_interest(world, interest, everything_changed)
+    full = update_bits_for_interest(world, everything_changed,
+                                    everything_changed)
+    assert focused < full / 4

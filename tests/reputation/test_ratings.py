@@ -1,0 +1,71 @@
+"""Tests for the rating ledger."""
+
+import pytest
+
+from repro.reputation.ratings import Rating, RatingLedger
+
+
+def test_rating_validation():
+    with pytest.raises(ValueError):
+        Rating(value=1.2, day=0)
+    with pytest.raises(ValueError):
+        Rating(value=-0.1, day=0)
+    with pytest.raises(ValueError):
+        Rating(value=0.5, day=-1)
+
+
+def test_rating_age():
+    rating = Rating(value=0.9, day=3)
+    assert rating.age_days(10) == 7
+    assert rating.age_days(3) == 0
+    with pytest.raises(ValueError):
+        rating.age_days(2)
+
+
+def test_ledger_add_and_query():
+    ledger = RatingLedger()
+    ledger.add(player=1, supernode=7, value=0.8, day=0)
+    ledger.add(player=1, supernode=7, value=0.9, day=1)
+    ratings = ledger.ratings(1, 7)
+    assert [r.value for r in ratings] == [0.8, 0.9]
+    assert ledger.has_history(1, 7)
+    assert not ledger.has_history(1, 8)
+    assert ledger.total_ratings() == 2
+
+
+def test_ledger_is_first_person():
+    """Player 2's ratings never leak into player 1's view (sybil defence)."""
+    ledger = RatingLedger()
+    ledger.add(player=2, supernode=7, value=1.0, day=0)
+    assert ledger.ratings(1, 7) == []
+    assert not ledger.has_history(1, 7)
+
+
+def test_ledger_cap_rolls_off_oldest():
+    ledger = RatingLedger(max_ratings_per_pair=3)
+    for day in range(5):
+        ledger.add(1, 7, value=day / 10.0, day=day)
+    ratings = ledger.ratings(1, 7)
+    assert len(ratings) == 3
+    assert [r.day for r in ratings] == [2, 3, 4]
+
+
+def test_ledger_cap_validation():
+    with pytest.raises(ValueError):
+        RatingLedger(max_ratings_per_pair=0)
+
+
+def test_rated_supernodes():
+    ledger = RatingLedger()
+    ledger.add(1, 9, 0.5, 0)
+    ledger.add(1, 3, 0.5, 0)
+    ledger.add(2, 4, 0.5, 0)
+    assert ledger.rated_supernodes(1) == [3, 9]
+    assert ledger.rated_supernodes(3) == []
+
+
+def test_ratings_returns_copy():
+    ledger = RatingLedger()
+    ledger.add(1, 7, 0.5, 0)
+    ledger.ratings(1, 7).clear()
+    assert len(ledger.ratings(1, 7)) == 1

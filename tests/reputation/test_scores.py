@@ -1,0 +1,104 @@
+"""Tests for Eq.-7 reputation scores."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reputation.ratings import RatingLedger
+from repro.reputation.scores import (
+    ReputationTable,
+    raw_reputation_sum,
+    reputation_score,
+)
+
+
+def test_no_history_scores_zero():
+    """§3.2.1: supernodes with no previous interactions score 0."""
+    ledger = RatingLedger()
+    assert reputation_score(ledger, 1, 7, today=5) == 0.0
+
+
+def test_single_rating_weighted_average_is_its_value():
+    ledger = RatingLedger()
+    ledger.add(1, 7, 0.8, day=0)
+    assert reputation_score(ledger, 1, 7, today=0) == pytest.approx(0.8)
+    # Aging shrinks the weight but not the normalised average.
+    assert reputation_score(ledger, 1, 7, today=30) == pytest.approx(0.8)
+
+
+def test_recent_ratings_dominate():
+    """Eq. 7: recent interactions reflect future performance better."""
+    ledger = RatingLedger()
+    ledger.add(1, 7, 1.0, day=0)    # old: perfect
+    ledger.add(1, 7, 0.0, day=20)   # recent: terrible
+    score = reputation_score(ledger, 1, 7, today=20, aging_factor=0.9)
+    assert score < 0.5  # pulled towards the recent rating
+
+
+def test_raw_sum_matches_eq7_literally():
+    ledger = RatingLedger()
+    ledger.add(1, 7, 0.5, day=0)
+    ledger.add(1, 7, 1.0, day=2)
+    raw = raw_reputation_sum(ledger, 1, 7, today=2, aging_factor=0.5)
+    # 0.5 * 0.5^2 + 1.0 * 0.5^0 = 0.125 + 1.0
+    assert raw == pytest.approx(1.125)
+
+
+def test_aging_factor_bounds():
+    ledger = RatingLedger()
+    with pytest.raises(ValueError):
+        reputation_score(ledger, 1, 7, 0, aging_factor=1.0)
+    with pytest.raises(ValueError):
+        reputation_score(ledger, 1, 7, 0, aging_factor=0.0)
+    with pytest.raises(ValueError):
+        raw_reputation_sum(ledger, 1, 7, 0, aging_factor=1.5)
+
+
+def test_table_refresh_and_rank():
+    ledger = RatingLedger()
+    ledger.add(1, 10, 0.9, day=0)
+    ledger.add(1, 20, 0.4, day=0)
+    table = ReputationTable(ledger)
+    table.refresh(player=1, today=0)
+    assert table.score(1, 10) == pytest.approx(0.9)
+    assert table.score(1, 99) == 0.0
+    assert table.rank(1, [20, 10, 99]) == [10, 20, 99]
+
+
+def test_table_rank_preserves_order_on_ties():
+    """Cold-start candidates keep their (delay-sorted) input order."""
+    table = ReputationTable(RatingLedger())
+    assert table.rank(1, [5, 3, 8]) == [5, 3, 8]
+
+
+def test_table_tracks_updates_after_refresh():
+    ledger = RatingLedger()
+    ledger.add(1, 10, 0.2, day=0)
+    table = ReputationTable(ledger)
+    table.refresh(1, today=0)
+    assert table.score(1, 10) == pytest.approx(0.2)
+    ledger.add(1, 10, 1.0, day=1)
+    # Stale until refreshed (the paper's periodic recomputation).
+    assert table.score(1, 10) == pytest.approx(0.2)
+    table.refresh(1, today=1)
+    assert table.score(1, 10) > 0.2
+
+
+def test_table_validation():
+    with pytest.raises(ValueError):
+        ReputationTable(RatingLedger(), aging_factor=2.0)
+
+
+@given(values=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                       min_size=1, max_size=30),
+       aging=st.floats(min_value=0.05, max_value=0.99))
+@settings(max_examples=100, deadline=None)
+def test_property_score_bounded_by_rating_range(values, aging):
+    """A weighted average of [0,1] ratings stays in [0,1]."""
+    ledger = RatingLedger(max_ratings_per_pair=64)
+    for day, value in enumerate(values):
+        ledger.add(1, 7, value, day=day)
+    score = reputation_score(ledger, 1, 7, today=len(values),
+                             aging_factor=aging)
+    assert 0.0 <= score <= 1.0
+    assert min(values[-64:]) - 1e-9 <= score <= max(values[-64:]) + 1e-9

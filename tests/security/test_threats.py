@@ -1,0 +1,64 @@
+"""Tests for the §3.6 threat models."""
+
+import numpy as np
+import pytest
+
+from repro.security.threats import (
+    MaliciousProfile,
+    ThreatKind,
+    TrafficReport,
+    honest_report,
+    malicious_report,
+)
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        MaliciousProfile(ThreatKind.JUNK_INJECTION, inflation=1.0)
+    with pytest.raises(ValueError):
+        MaliciousProfile(ThreatKind.DELAY_ATTACK, added_delay_ms=0.0)
+    # Valid profiles construct fine.
+    MaliciousProfile(ThreatKind.EAVESDROPPING)
+
+
+def test_report_validation():
+    with pytest.raises(ValueError):
+        TrafficReport(1, -1.0, 1.0, 1)
+    with pytest.raises(ValueError):
+        TrafficReport(1, 1.0, 1.0, -1)
+
+
+def test_inflation_ratio():
+    assert TrafficReport(1, 3.0, 1.0, 2).inflation_ratio == pytest.approx(3.0)
+    assert TrafficReport(1, 0.0, 0.0, 0).inflation_ratio == 1.0
+    assert TrafficReport(1, 5.0, 0.0, 0).inflation_ratio == float("inf")
+
+
+def test_honest_report_close_to_expected():
+    rng = np.random.default_rng(0)
+    ratios = [honest_report(1, 10.0, 3, rng).inflation_ratio
+              for _ in range(500)]
+    assert 0.99 < np.mean(ratios) < 1.01
+    assert max(ratios) < 1.3
+
+
+def test_honest_report_validation():
+    with pytest.raises(ValueError):
+        honest_report(1, 10.0, 3, np.random.default_rng(0),
+                      measurement_noise=-0.1)
+
+
+def test_junk_injection_inflates_claim():
+    rng = np.random.default_rng(0)
+    profile = MaliciousProfile(ThreatKind.JUNK_INJECTION, inflation=3.0)
+    report = malicious_report(1, 10.0, 3, profile, rng)
+    assert report.inflation_ratio > 2.0
+    assert report.expected_gb == 10.0
+
+
+def test_delay_attack_leaves_billing_honest():
+    """Delay attacks degrade QoS, not the billing channel."""
+    rng = np.random.default_rng(0)
+    profile = MaliciousProfile(ThreatKind.DELAY_ATTACK)
+    report = malicious_report(1, 10.0, 3, profile, rng)
+    assert report.inflation_ratio < 1.3

@@ -1,0 +1,428 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Environment,
+    Interrupt,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_initial_time():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    observed = []
+
+    def proc(env):
+        yield env.timeout(3)
+        observed.append(env.now)
+        yield env.timeout(4.5)
+        observed.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert observed == [3.0, 7.5]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        value = yield env.timeout(1, value="segment")
+        results.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert results == ["segment"]
+
+
+def test_run_until_time_stops_early():
+    env = Environment()
+    hits = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+            hits.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert hits == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment()
+    env.run(until=2)
+    with pytest.raises(ValueError):
+        env.run(until=1)
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2)
+        return 42
+
+    result = env.run(until=env.process(proc(env)))
+    assert result == 42
+    assert env.now == 2.0
+
+
+def test_run_until_already_processed_event():
+    env = Environment()
+    done = env.event()
+    done.succeed("ready")
+    env.run()  # processes the event
+    assert env.run(until=done) == "ready"
+
+
+def test_events_fire_in_time_order_with_fifo_ties():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, "b", 2))
+    env.process(proc(env, "a", 1))
+    env.process(proc(env, "tie1", 3))
+    env.process(proc(env, "tie2", 3))
+    env.run()
+    assert order == ["a", "b", "tie1", "tie2"]
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    done = env.event()
+    results = []
+
+    def waiter(env):
+        value = yield done
+        results.append((env.now, value))
+
+    def firer(env):
+        yield env.timeout(5)
+        done.succeed("payload")
+
+    env.process(waiter(env))
+    env.process(firer(env))
+    env.run()
+    assert results == [(5.0, "payload")]
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(RuntimeError):
+        event.succeed(2)
+    with pytest.raises(RuntimeError):
+        event.fail(ValueError("late"))
+
+
+def test_event_fail_propagates_into_process():
+    env = Environment()
+    broken = env.event()
+    caught = []
+
+    def waiter(env):
+        try:
+            yield broken
+        except ValueError as error:
+            caught.append(str(error))
+
+    env.process(waiter(env))
+    broken.fail(ValueError("link down"))
+    env.run()
+    assert caught == ["link down"]
+
+
+def test_unhandled_event_failure_crashes_run():
+    env = Environment()
+    broken = env.event()
+    broken.fail(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        env.run()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_process_return_value_is_event_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        return "done"
+
+    def parent(env, results):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    results = []
+    env.process(parent(env, results))
+    env.run()
+    assert results == ["done"]
+
+
+def test_process_exception_propagates_to_parent():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1)
+        raise KeyError("missing")
+
+    def parent(env, log):
+        try:
+            yield env.process(child(env))
+        except KeyError:
+            log.append("caught")
+
+    log = []
+    env.process(parent(env, log))
+    env.run()
+    assert log == ["caught"]
+
+
+def test_uncaught_process_exception_crashes_run():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise ValueError("bad state")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="bad state"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt("churn")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(3.0, "churn")]
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            pass
+        yield env.timeout(2)
+        log.append(env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [3.0]
+
+
+def test_interrupt_dead_process_rejected():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        proc.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+    errors = []
+
+    def selfish(env):
+        try:
+            env.active_process.interrupt()
+        except RuntimeError:
+            errors.append("refused")
+        yield env.timeout(0)
+
+    env.process(selfish(env))
+    env.run()
+    assert errors == ["refused"]
+
+
+def test_stale_timeout_does_not_resume_interrupted_process():
+    """After an interrupt, the original timeout must not wake the process."""
+    env = Environment()
+    wakeups = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(10)
+            wakeups.append("timeout")
+        except Interrupt:
+            wakeups.append("interrupt")
+        # Sleep past the stale timeout's fire time.
+        yield env.timeout(20)
+        wakeups.append("second sleep done")
+
+    def interrupter(env, victim):
+        yield env.timeout(1)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert wakeups == ["interrupt", "second sleep done"]
+    assert env.now == 21.0
+
+
+def test_yield_non_event_raises():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="non-event"):
+        env.run()
+
+
+def test_anyof_triggers_on_first():
+    env = Environment()
+    results = {}
+
+    def proc(env):
+        t1 = env.timeout(1, value="fast")
+        t2 = env.timeout(5, value="slow")
+        outcome = yield AnyOf(env, [t1, t2])
+        results["time"] = env.now
+        results["values"] = list(outcome.values())
+
+    env.process(proc(env))
+    env.run()
+    assert results["time"] == 1.0
+    assert results["values"] == ["fast"]
+
+
+def test_allof_waits_for_all():
+    env = Environment()
+    results = {}
+
+    def proc(env):
+        t1 = env.timeout(1, value="a")
+        t2 = env.timeout(5, value="b")
+        outcome = yield AllOf(env, [t1, t2])
+        results["time"] = env.now
+        results["values"] = sorted(outcome.values())
+
+    env.process(proc(env))
+    env.run()
+    assert results["time"] == 5.0
+    assert results["values"] == ["a", "b"]
+
+
+def test_allof_empty_succeeds_immediately():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        value = yield AllOf(env, [])
+        log.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert log == [(0.0, {})]
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+    failing = env.event()
+    caught = []
+
+    def proc(env):
+        try:
+            yield AllOf(env, [env.timeout(5), failing])
+        except OSError:
+            caught.append(env.now)
+
+    env.process(proc(env))
+    failing.fail(OSError("nic died"))
+    env.run()
+    assert caught == [0.0]
+
+
+def test_step_on_empty_schedule_raises():
+    env = Environment()
+    with pytest.raises(EmptySchedule):
+        env.step()
+
+
+def test_peek_returns_next_event_time():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(7)
+    assert env.peek() == 7.0
+
+
+def test_many_processes_complete():
+    env = Environment()
+    finished = []
+
+    def worker(env, i):
+        yield env.timeout(i % 13 + 1)
+        finished.append(i)
+
+    for i in range(500):
+        env.process(worker(env, i))
+    env.run()
+    assert len(finished) == 500
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    event = env.event()
+    with pytest.raises(RuntimeError):
+        _ = event.value
+    with pytest.raises(RuntimeError):
+        _ = event.ok

@@ -1,0 +1,94 @@
+"""Tests for measurement probes (Series / Counter / summarize)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.monitor import Counter, Series, summarize
+
+
+def test_series_records_in_order():
+    series = Series("latency")
+    series.record(0, 10)
+    series.record(1, 20)
+    assert list(series) == [(0.0, 10.0), (1.0, 20.0)]
+    assert len(series) == 2
+
+
+def test_series_mean_and_last():
+    series = Series()
+    for t, v in enumerate([1.0, 2.0, 3.0]):
+        series.record(t, v)
+    assert series.mean() == pytest.approx(2.0)
+    assert series.last() == 3.0
+
+
+def test_series_empty_mean_raises():
+    with pytest.raises(ValueError):
+        Series("empty").mean()
+    with pytest.raises(ValueError):
+        Series("empty").last()
+
+
+def test_series_window():
+    series = Series()
+    for t in range(10):
+        series.record(t, t * 10)
+    window = series.window(3, 6)
+    assert window.values == [30.0, 40.0, 50.0]
+    open_window = series.window(8)
+    assert open_window.values == [80.0, 90.0]
+
+
+def test_counter_ratio_and_total():
+    counter = Counter()
+    counter.add("covered", 3)
+    counter.add("uncovered")
+    assert counter.total() == 4
+    assert counter.ratio("covered") == pytest.approx(0.75)
+    assert counter.get("missing") == 0
+    assert counter.ratio("missing") == 0.0
+
+
+def test_counter_empty_ratio_is_zero():
+    assert Counter().ratio("anything") == 0.0
+
+
+def test_summarize_basic_statistics():
+    summary = summarize([1, 2, 3, 4, 5])
+    assert summary.count == 5
+    assert summary.mean == pytest.approx(3.0)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 5.0
+    assert summary.p50 == pytest.approx(3.0)
+
+
+def test_summarize_single_value():
+    summary = summarize([7.0])
+    assert summary.mean == 7.0
+    assert summary.std == 0.0
+    assert summary.p95 == 7.0
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_str_renders():
+    text = str(summarize([1.0, 2.0]))
+    assert "mean=1.500" in text
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False),
+                min_size=1, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_property_summary_invariants(values):
+    summary = summarize(values)
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.minimum <= summary.p50 <= summary.p95 <= summary.maximum
+    assert summary.std >= 0
+    assert not math.isnan(summary.std)

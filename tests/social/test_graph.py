@@ -1,0 +1,91 @@
+"""Tests for friendship graphs."""
+
+import numpy as np
+import pytest
+
+from repro.social.graph import FriendGraph, generate_friend_graph
+
+
+def test_empty_graph():
+    graph = FriendGraph(0)
+    assert graph.num_edges == 0
+    graph = FriendGraph(5)
+    assert graph.friends(0) == set()
+    assert graph.degree(3) == 0
+
+
+def test_add_and_query_friendship():
+    graph = FriendGraph(4, edges=[(0, 1), (1, 2)])
+    assert graph.are_friends(0, 1)
+    assert graph.are_friends(1, 0)  # undirected
+    assert not graph.are_friends(0, 2)
+    assert graph.friends(1) == {0, 2}
+    assert graph.num_edges == 2
+
+
+def test_duplicate_edge_is_idempotent():
+    graph = FriendGraph(3)
+    graph.add_friendship(0, 1)
+    graph.add_friendship(1, 0)
+    assert graph.num_edges == 1
+
+
+def test_self_friendship_rejected():
+    graph = FriendGraph(3)
+    with pytest.raises(ValueError):
+        graph.add_friendship(1, 1)
+
+
+def test_out_of_range_players_rejected():
+    graph = FriendGraph(3)
+    with pytest.raises(ValueError):
+        graph.add_friendship(0, 3)
+    with pytest.raises(ValueError):
+        graph.friends(5)
+    with pytest.raises(ValueError):
+        FriendGraph(-1)
+
+
+def test_remove_friendship():
+    graph = FriendGraph(3, edges=[(0, 1)])
+    graph.remove_friendship(0, 1)
+    assert not graph.are_friends(0, 1)
+    graph.remove_friendship(0, 1)  # idempotent
+
+
+def test_subgraph_players():
+    graph = FriendGraph(5, edges=[(0, 1), (1, 2), (3, 4)])
+    sub = graph.subgraph_players({0, 1, 3, 4})
+    assert sub.are_friends(0, 1)
+    assert not sub.are_friends(1, 2)
+    assert sub.are_friends(3, 4)
+
+
+def test_generate_power_law_degrees():
+    rng = np.random.default_rng(0)
+    graph = generate_friend_graph(rng, 2000, skew=1.5)
+    degrees = [graph.degree(p) for p in range(2000)]
+    # Power-law shape: a majority of small-degree players plus a tail.
+    assert np.mean(np.asarray(degrees) <= 3) > 0.5
+    assert max(degrees) > 10
+
+
+def test_generate_reproducible():
+    a = generate_friend_graph(np.random.default_rng(1), 200)
+    b = generate_friend_graph(np.random.default_rng(1), 200)
+    assert sorted(a.edges()) == sorted(b.edges())
+
+
+def test_generate_tiny_populations():
+    rng = np.random.default_rng(0)
+    assert generate_friend_graph(rng, 0).num_edges == 0
+    assert generate_friend_graph(rng, 1).num_edges == 0
+    with pytest.raises(ValueError):
+        generate_friend_graph(rng, -1)
+
+
+def test_to_networkx_is_a_copy():
+    graph = FriendGraph(3, edges=[(0, 1)])
+    nx_graph = graph.to_networkx()
+    nx_graph.add_edge(1, 2)
+    assert not graph.are_friends(1, 2)

@@ -1,0 +1,83 @@
+"""Tests for co-play records and implicit friendship."""
+
+import pytest
+
+from repro.social.graph import FriendGraph
+from repro.social.interactions import (
+    DEFAULT_IMPLICIT_THRESHOLD,
+    CoPlayRecorder,
+    combined_friendship,
+)
+
+
+def test_record_and_count():
+    rec = CoPlayRecorder()
+    rec.record(0, 1, 2)
+    rec.record(0, 2, 1)  # unordered pairs coincide
+    rec.record(1, 1, 2, times=3)
+    assert rec.coplay_count(1, 1, 2) == 5
+    assert rec.coplay_count(1, 2, 1) == 5
+
+
+def test_window_expires_old_records():
+    rec = CoPlayRecorder(window_days=7)
+    rec.record(0, 1, 2, times=5)
+    assert rec.coplay_count(6, 1, 2) == 5    # day 0 still in [0, 6]
+    assert rec.coplay_count(7, 1, 2) == 0    # day 0 fell out of [1, 7]
+
+
+def test_implicit_friends_threshold():
+    """§3.4: CP_ij > upsilon within the recent week => implicit friends."""
+    rec = CoPlayRecorder()
+    rec.record(3, 1, 2, times=DEFAULT_IMPLICIT_THRESHOLD)      # == threshold
+    rec.record(3, 1, 5, times=DEFAULT_IMPLICIT_THRESHOLD + 1)  # > threshold
+    friends = rec.implicit_friends(3)
+    assert (1, 5) in friends
+    assert (1, 2) not in friends
+
+
+def test_implicit_friends_accumulates_across_days():
+    rec = CoPlayRecorder()
+    for day in range(4):
+        rec.record(day, 1, 2)
+    assert (1, 2) in rec.implicit_friends(3, threshold=3)
+
+
+def test_validation():
+    rec = CoPlayRecorder()
+    with pytest.raises(ValueError):
+        rec.record(0, 1, 1)
+    with pytest.raises(ValueError):
+        rec.record(0, 1, 2, times=0)
+    with pytest.raises(ValueError):
+        rec.implicit_friends(0, threshold=-1)
+    with pytest.raises(ValueError):
+        CoPlayRecorder(window_days=0)
+
+
+def test_expire_before_drops_old_days():
+    rec = CoPlayRecorder(window_days=2)
+    rec.record(0, 1, 2)
+    rec.record(5, 1, 2)
+    rec.expire_before(6)
+    assert rec.coplay_count(6, 1, 2) == 1  # day-5 record survives
+    assert rec.coplay_count(0, 1, 2) == 0  # day-0 record dropped
+
+
+def test_combined_friendship_merges_sources():
+    explicit = FriendGraph(6, edges=[(0, 1)])
+    rec = CoPlayRecorder()
+    rec.record(0, 2, 3, times=10)
+    rec.record(0, 4, 5, times=1)
+    merged = combined_friendship(explicit, rec, day=0)
+    assert merged.are_friends(0, 1)   # explicit kept
+    assert merged.are_friends(2, 3)   # implicit added
+    assert not merged.are_friends(4, 5)  # below threshold
+
+
+def test_combined_friendship_ignores_out_of_range_players():
+    explicit = FriendGraph(3)
+    rec = CoPlayRecorder()
+    rec.record(0, 1, 9, times=10)  # player 9 does not exist
+    merged = combined_friendship(explicit, rec, day=0)
+    assert merged.num_edges == 0

@@ -1,0 +1,55 @@
+"""Tests for the python -m repro command line."""
+
+import pytest
+
+from repro.__main__ import FIGURES, build_parser, main
+
+
+def test_every_figure_is_registered():
+    expected = {"fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig6b",
+                "fig7", "fig7b", "fig8", "fig8b", "fig9", "fig9b",
+                "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+                "fig16a", "fig16b"}
+    assert set(FIGURES) == expected
+
+
+def test_list_prints_catalogue(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig4a" in out and "fig16b" in out
+
+
+def test_unknown_figure_fails(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_fig16a_runs(capsys):
+    assert main(["fig16a"]) == 0
+    out = capsys.readouterr().out
+    assert "rewards_usd" in out
+
+
+def test_players_flag_on_supported_figure(capsys):
+    assert main(["fig6", "--players", "150"]) == 0
+    out = capsys.readouterr().out
+    assert "150" in out
+
+
+def test_players_flag_rejected_elsewhere(capsys):
+    assert main(["fig16a", "--players", "100"]) == 2
+    assert "--players" in capsys.readouterr().err
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["fig4a"])
+    assert args.seed == 0
+    assert args.players is None
+
+
+def test_seed_flag_changes_nothing_for_deterministic_figures(capsys):
+    main(["fig16b", "--seed", "9"])
+    first = capsys.readouterr().out
+    main(["fig16b", "--seed", "10"])
+    second = capsys.readouterr().out
+    assert first == second

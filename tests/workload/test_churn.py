@@ -1,0 +1,119 @@
+"""Tests for churn models (durations, start times, arrivals)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.churn import (
+    ArrivalProcess,
+    DurationMixture,
+    PlayerDayPlan,
+    StartTimeModel,
+    sample_day_plans,
+)
+
+
+def test_duration_mixture_shares_match_paper():
+    """§4.1: 50 % play (0,2]h, 30 % (2,5]h, 20 % (5,24]h."""
+    mixture = DurationMixture()
+    rng = np.random.default_rng(0)
+    hours = mixture.sample_hours(rng, 20000)
+    short = np.mean(hours <= 2.0)
+    medium = np.mean((hours > 2.0) & (hours <= 5.0))
+    long = np.mean(hours > 5.0)
+    assert abs(short - 0.5) < 0.02
+    assert abs(medium - 0.3) < 0.02
+    assert abs(long - 0.2) < 0.02
+    assert hours.max() <= 24.0
+    assert hours.min() >= 0.0
+
+
+def test_duration_mixture_scalar_sample():
+    hours = DurationMixture().sample_hours(np.random.default_rng(0))
+    assert isinstance(hours, float)
+    assert 0.0 <= hours <= 24.0
+
+
+def test_duration_mixture_validation():
+    with pytest.raises(ValueError):
+        DurationMixture(short_share=0.5, medium_share=0.5, long_share=0.5)
+    with pytest.raises(ValueError):
+        DurationMixture(short_share=-0.1, medium_share=0.9, long_share=0.2)
+
+
+def test_start_time_split_30_70():
+    """§4.1: start in [1,19] with p=0.3, in [20,24] with p=0.7."""
+    model = StartTimeModel()
+    rng = np.random.default_rng(0)
+    starts = model.sample_subcycles(rng, 20000)
+    assert starts.min() >= 1
+    assert starts.max() <= 24
+    peak_share = np.mean(starts >= 20)
+    assert abs(peak_share - 0.7) < 0.02
+
+
+def test_start_time_scalar_sample():
+    start = StartTimeModel().sample_subcycles(np.random.default_rng(0))
+    assert isinstance(start, int)
+    assert 1 <= start <= 24
+
+
+def test_start_time_validation():
+    with pytest.raises(ValueError):
+        StartTimeModel(offpeak_share=1.5)
+    with pytest.raises(ValueError):
+        StartTimeModel(offpeak_range=(5, 2))
+    with pytest.raises(ValueError):
+        StartTimeModel(peak_range=(0, 5))
+
+
+def test_arrival_process_rates():
+    arrivals = ArrivalProcess(offpeak_rate_per_min=5.0, peak_rate_per_min=60.0)
+    assert arrivals.rate_for(is_peak=False) == 5.0
+    assert arrivals.rate_for(is_peak=True) == 60.0
+    rng = np.random.default_rng(0)
+    counts = [arrivals.sample_arrivals(rng, True, minutes=1.0)
+              for _ in range(2000)]
+    assert abs(np.mean(counts) - 60.0) < 2.0
+
+
+def test_arrival_interarrival_times():
+    arrivals = ArrivalProcess(offpeak_rate_per_min=6.0, peak_rate_per_min=6.0)
+    rng = np.random.default_rng(0)
+    gaps = [arrivals.sample_interarrival_s(rng, False) for _ in range(2000)]
+    assert abs(np.mean(gaps) - 10.0) < 1.0  # 6/min -> 10 s mean gap
+    silent = ArrivalProcess(offpeak_rate_per_min=0.0, peak_rate_per_min=0.0)
+    assert silent.sample_interarrival_s(rng, False) == float("inf")
+
+
+def test_arrival_validation():
+    with pytest.raises(ValueError):
+        ArrivalProcess(offpeak_rate_per_min=-1.0)
+    with pytest.raises(ValueError):
+        ArrivalProcess().sample_arrivals(np.random.default_rng(0), True,
+                                         minutes=-1.0)
+
+
+def test_day_plan_online_window():
+    plan = PlayerDayPlan(player=1, start_subcycle=20, duration_hours=2.5)
+    assert not plan.online_at(19)
+    assert plan.online_at(20)
+    assert plan.online_at(22)  # ceil(2.5) = 3 subcycles: 20, 21, 22
+    assert not plan.online_at(23)
+
+
+def test_day_plan_validation():
+    with pytest.raises(ValueError):
+        PlayerDayPlan(1, 0, 1.0)
+    with pytest.raises(ValueError):
+        PlayerDayPlan(1, 1, 0.0)
+    with pytest.raises(ValueError):
+        PlayerDayPlan(1, 1, 1.0).online_at(0)
+
+
+def test_sample_day_plans():
+    rng = np.random.default_rng(0)
+    plans = sample_day_plans(rng, np.arange(100))
+    assert len(plans) == 100
+    assert {p.player for p in plans} == set(range(100))
+    assert all(1 <= p.start_subcycle <= 24 for p in plans)
+    assert sample_day_plans(rng, np.array([], dtype=int)) == []

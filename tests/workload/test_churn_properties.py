@@ -1,0 +1,64 @@
+"""Property-based tests for the churn models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.churn import (
+    DurationMixture,
+    PlayerDayPlan,
+    StartTimeModel,
+    sample_day_plans,
+)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000),
+       n=st.integers(min_value=1, max_value=300))
+@settings(max_examples=50, deadline=None)
+def test_property_durations_within_a_day(seed, n):
+    rng = np.random.default_rng(seed)
+    hours = np.atleast_1d(DurationMixture().sample_hours(rng, n))
+    assert np.all(hours > 0.0)
+    assert np.all(hours <= 24.0)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000),
+       n=st.integers(min_value=1, max_value=300))
+@settings(max_examples=50, deadline=None)
+def test_property_start_subcycles_valid(seed, n):
+    rng = np.random.default_rng(seed)
+    starts = np.atleast_1d(StartTimeModel().sample_subcycles(rng, n))
+    assert np.all(starts >= 1)
+    assert np.all(starts <= 24)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000),
+       n=st.integers(min_value=1, max_value=200))
+@settings(max_examples=50, deadline=None)
+def test_property_day_plans_cover_each_player_once(seed, n):
+    rng = np.random.default_rng(seed)
+    plans = sample_day_plans(rng, np.arange(n))
+    assert len(plans) == n
+    assert {p.player for p in plans} == set(range(n))
+    for plan in plans:
+        # Every plan is online at its own start subcycle...
+        assert plan.online_at(plan.start_subcycle)
+        # ...and offline strictly before it.
+        if plan.start_subcycle > 1:
+            assert not plan.online_at(plan.start_subcycle - 1)
+
+
+@given(start=st.integers(min_value=1, max_value=24),
+       duration=st.floats(min_value=0.01, max_value=24.0),
+       probe=st.integers(min_value=1, max_value=48))
+@settings(max_examples=200, deadline=None)
+def test_property_online_window_is_contiguous(start, duration, probe):
+    plan = PlayerDayPlan(player=0, start_subcycle=start,
+                         duration_hours=duration)
+    online = [s for s in range(1, 49) if plan.online_at(s)]
+    # The online subcycles form one contiguous block starting at start.
+    assert online
+    assert online[0] == start
+    assert online == list(range(online[0], online[-1] + 1))
+    expected_span = int(np.ceil(duration))
+    assert len(online) == expected_span

@@ -1,0 +1,39 @@
+"""Tests for the game catalogue."""
+
+import numpy as np
+import pytest
+
+from repro.workload.games import GAME_CATALOGUE, game_for_level, random_game
+
+
+def test_five_games_one_per_quality_level():
+    """§4.1: 5 games mapped to the 5 Table-2 rows."""
+    assert len(GAME_CATALOGUE) == 5
+    assert sorted(g.default_level for g in GAME_CATALOGUE) == [1, 2, 3, 4, 5]
+
+
+def test_game_qos_fields_follow_the_ladder():
+    game = game_for_level(4)
+    assert game.latency_requirement_ms == 90.0
+    assert game.tolerance == 0.9
+    assert game.stream_rate_mbps == pytest.approx(1.2)
+
+
+def test_fps_is_strictest_genre():
+    fps = game_for_level(1)
+    assert fps.genre == "first-person shooter"
+    assert fps.latency_requirement_ms == min(
+        g.latency_requirement_ms for g in GAME_CATALOGUE)
+
+
+def test_game_for_level_unknown():
+    with pytest.raises(ValueError):
+        game_for_level(9)
+
+
+def test_random_game_uniform():
+    rng = np.random.default_rng(0)
+    names = [random_game(rng).name for _ in range(5000)]
+    for game in GAME_CATALOGUE:
+        share = names.count(game.name) / len(names)
+        assert 0.15 < share < 0.25
