@@ -7,6 +7,18 @@ Usage::
     python -m repro fig8 --seed 3        # with a different seed
     python -m repro fig6 --players 400 800
 
+Observability (see :mod:`repro.obs` and README "Observability")::
+
+    python -m repro fig10 --trace trace.jsonl --metrics metrics.prom \
+        --log-level info --profile
+
+``--trace`` writes finished spans as JSON lines, ``--metrics`` writes a
+Prometheus text exposition (``.json`` suffix switches to the JSON dump),
+``--profile`` prints a per-phase wall-clock table, and ``--log-level``
+turns on key=value logging on stderr.  Any of these flags enables the
+otherwise-zero-cost instrumentation; results are bit-identical either
+way.
+
 Figures run at the reduced benchmark scales; for custom scales use the
 :mod:`repro.experiments` API directly.
 """
@@ -16,7 +28,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from . import experiments
+from . import experiments, obs
 
 #: CLI name -> (experiments function, accepts seed, accepts players).
 FIGURES = {
@@ -55,6 +67,19 @@ def build_parser() -> argparse.ArgumentParser:
                         help="player-count sweep (figures 6-9 only)")
     parser.add_argument("--chart", action="store_true",
                         help="render ASCII bar charts instead of a table")
+    group = parser.add_argument_group("observability")
+    group.add_argument("--trace", metavar="PATH", default=None,
+                       help="write finished trace spans as JSON lines")
+    group.add_argument("--metrics", metavar="PATH", default=None,
+                       help="write the metrics registry (Prometheus text "
+                            "format; a .json suffix writes JSON instead)")
+    group.add_argument("--profile", action="store_true",
+                       help="print a per-phase wall-clock table after "
+                            "the run")
+    group.add_argument("--log-level", default=None,
+                       help="enable key=value logging at this level "
+                            "(debug/info/warning/error; also settable "
+                            "via REPRO_LOG_LEVEL)")
     return parser
 
 
@@ -79,13 +104,51 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         kwargs["player_counts"] = tuple(args.players)
+    observing = bool(args.trace or args.metrics or args.profile
+                     or args.log_level)
+    if observing:
+        # Fail fast on bad observability arguments: a typo'd level or an
+        # unwritable output path should cost milliseconds, not a full run.
+        for path in (args.trace, args.metrics):
+            if path:
+                try:
+                    open(path, "a").close()
+                except OSError as exc:
+                    print(f"cannot write {path}: {exc}", file=sys.stderr)
+                    return 2
+        try:
+            obs.enable(log_level=args.log_level)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     table = func(**kwargs)
     if args.chart:
         from .metrics.plots import render_bars
         print(render_bars(table))
     else:
         print(table)
+    if observing:
+        _export_observability(args)
     return 0
+
+
+def _export_observability(args) -> None:
+    """Flush the run's trace/metrics/profile as requested by the flags."""
+    tracer, registry = obs.get_tracer(), obs.get_registry()
+    if args.trace:
+        count = tracer.export_jsonl(args.trace)
+        print(f"[obs] wrote {count} spans to {args.trace}",
+              file=sys.stderr)
+    if args.metrics:
+        if str(args.metrics).endswith(".json"):
+            registry.write_json(args.metrics)
+        else:
+            registry.write_prometheus(args.metrics)
+        print(f"[obs] wrote {len(registry)} metrics to {args.metrics}",
+              file=sys.stderr)
+    if args.profile:
+        print()
+        print(obs.profile_table(tracer))
 
 
 if __name__ == "__main__":

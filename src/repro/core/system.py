@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..cloud.datacenter import Datacenter
 from ..cloud.gamestate import UPDATE_MESSAGE_BITS_PER_SUPERNODE
 from ..economics.ledger import CreditLedger
@@ -218,6 +219,7 @@ class CloudFogSystem:
     def __init__(self, config: SystemConfig,
                  population: Population | None = None) -> None:
         self.config = config
+        self._log = obs.get_logger(__name__)
         self.rng_factory = RngFactory(config.seed)
         self.supernode_join_latencies_ms: list[float] = []
         rng = self.rng_factory.stream("population")
@@ -374,6 +376,8 @@ class CloudFogSystem:
 
     def _deploy(self, supernodes: list[Supernode]) -> None:
         """Set the live supernode set and rebuild the cloud's table."""
+        obs.get_registry().gauge("repro_live_supernodes").set(
+            len(supernodes))
         live_ids = {sn.supernode_id for sn in supernodes}
         for sn in self.supernode_pool:
             sn.online = sn.supernode_id in live_ids
@@ -437,50 +441,70 @@ class CloudFogSystem:
     # ------------------------------------------------------------------
     def run_day(self, day: int, result: RunResult, measuring: bool) -> None:
         config = self.config
+        tracer = obs.get_tracer()
+        registry = obs.get_registry()
+        day_span = tracer.span("run_day", day=day, measuring=measuring,
+                               mode=config.mode)
+        with day_span:
+            # (1) Throttle re-roll (its own stream: no workload shift).
+            throttle_rng = self.rng_factory.stream(f"throttle-{day}")
+            for sn in self.supernode_pool:
+                sn.roll_throttle(throttle_rng, config.throttle_probability)
 
-        # (1) Throttle re-roll (its own stream: does not shift workloads).
-        throttle_rng = self.rng_factory.stream(f"throttle-{day}")
-        for sn in self.supernode_pool:
-            sn.roll_throttle(throttle_rng, config.throttle_probability)
+            # (Weekly) server assignment.
+            if day % 7 == 0:
+                with tracer.span("server_assignment", day=day):
+                    self._run_server_assignment(
+                        self.rng_factory.stream(f"assignment-{day}"), result)
 
-        # (Weekly) server assignment.
-        if day % 7 == 0:
-            self._run_server_assignment(
-                self.rng_factory.stream(f"assignment-{day}"), result)
+            # (2) Day plans and social game choice (paired across systems).
+            with tracer.span("day_plans", day=day):
+                plans = self._sample_plans(
+                    self.rng_factory.stream(f"plans-{day}"), day=day)
+                self._choose_games(plans,
+                                   self.rng_factory.stream(f"games-{day}"))
 
-        # (2) Day plans and social game choice (paired across systems).
-        plans = self._sample_plans(self.rng_factory.stream(f"plans-{day}"),
-                                   day=day)
-        self._choose_games(plans, self.rng_factory.stream(f"games-{day}"))
+            # (3) Subcycle sweep.
+            selection_rng = self.rng_factory.stream(f"selection-{day}")
+            with tracer.span("sweep_day", day=day, plans=len(plans)):
+                sessions, count_loads, rate_loads, cloud_rate = \
+                    self._sweep_day(plans, selection_rng, result, measuring)
 
-        # (3) Subcycle sweep.
-        selection_rng = self.rng_factory.stream(f"selection-{day}")
-        sessions, count_loads, rate_loads, cloud_rate = self._sweep_day(
-            plans, selection_rng, result, measuring)
+            # (4)+(5) Per-session QoS and ratings.
+            qos_rng = self.rng_factory.stream(f"qos-{day}")
+            records = self._score_sessions(day, sessions, count_loads,
+                                           rate_loads, cloud_rate, qos_rng)
+            with tracer.span("ratings", day=day):
+                for record in records:
+                    if record.kind is ConnectionKind.SUPERNODE:
+                        self.ledger.add(record.player, record.target,
+                                        record.continuity, day)
+                for player in {r.player for r in records
+                               if r.kind is ConnectionKind.SUPERNODE}:
+                    self.reputation.refresh(player, today=day)
 
-        # (4)+(5) Per-session QoS and ratings.
-        qos_rng = self.rng_factory.stream(f"qos-{day}")
-        records = self._score_sessions(day, sessions, count_loads,
-                                       rate_loads, cloud_rate, qos_rng)
-        for record in records:
-            if record.kind is ConnectionKind.SUPERNODE:
-                self.ledger.add(record.player, record.target,
-                                record.continuity, day)
-        for player in {r.player for r in records
-                       if r.kind is ConnectionKind.SUPERNODE}:
-            self.reputation.refresh(player, today=day)
+            # (5b) Credit the contributors: one hour at rate r Mbit/s is
+            # r * 0.45 GB; a live supernode is online the whole day.
+            for sn in self.live_supernodes:
+                loads = rate_loads.get(sn.supernode_id)
+                gb = (float(loads[1:25].sum()) * 0.45
+                      if loads is not None else 0.0)
+                self.credits.record_day(sn.supernode_id, gb,
+                                        hours_online=24.0)
 
-        # (5b) Credit the contributors: one hour at rate r Mbit/s is
-        # r * 0.45 GB; a live supernode is online the whole day.
-        for sn in self.live_supernodes:
-            loads = rate_loads.get(sn.supernode_id)
-            gb = float(loads[1:25].sum()) * 0.45 if loads is not None else 0.0
-            self.credits.record_day(sn.supernode_id, gb, hours_online=24.0)
+            # (6) Provisioning windows.
+            if self.provisioner is not None:
+                self._run_provisioning(
+                    plans, self.rng_factory.stream(f"provision-{day}"))
 
-        # (6) Provisioning windows.
-        if self.provisioner is not None:
-            self._run_provisioning(
-                plans, self.rng_factory.stream(f"provision-{day}"))
+            for kind in ConnectionKind:
+                count = sum(1 for r in records if r.kind is kind)
+                if count:
+                    registry.counter("repro_sessions_total",
+                                     kind=kind.value).inc(count)
+            day_span.annotate(sessions=len(records))
+            self._log.debug("day done", extra=obs.kv(
+                day=day, measuring=measuring, sessions=len(records)))
 
         if measuring and records:
             metrics = DayMetrics(day=day)
@@ -572,7 +596,25 @@ class CloudFogSystem:
         return sessions, count_loads, rate_loads, cloud_rate
 
     def _join(self, plan: PlayerDayPlan, rng: np.random.Generator) -> _Session:
-        """Connect one starting session to its video source."""
+        """Connect one starting session to its video source.
+
+        Joins happen thousands of times per simulated day, so they are
+        counted (by connection kind, sticky reuse, join latency
+        histogram) rather than individually spanned — the enclosing
+        ``sweep_day`` span carries their aggregate wall clock.
+        """
+        session = self._join_inner(plan, rng)
+        registry = obs.get_registry()
+        registry.counter("repro_joins_total", kind=session.kind.value).inc()
+        if session.join_latency_ms is not None:
+            registry.histogram("repro_join_latency_ms").observe(
+                session.join_latency_ms)
+        elif session.kind is ConnectionKind.SUPERNODE:
+            registry.counter("repro_sticky_joins_total").inc()
+        return session
+
+    def _join_inner(self, plan: PlayerDayPlan,
+                    rng: np.random.Generator) -> _Session:
         player = plan.player
         game = self._games[player]
 
@@ -650,6 +692,13 @@ class CloudFogSystem:
     # -- session scoring -----------------------------------------------------
     def _score_sessions(self, day, sessions, count_loads, rate_loads,
                         cloud_rate, rng) -> list[SessionRecord]:
+        with obs.get_tracer().span("score_sessions", day=day,
+                                   sessions=len(sessions)):
+            return self._score_sessions_inner(day, sessions, count_loads,
+                                              rate_loads, cloud_rate, rng)
+
+    def _score_sessions_inner(self, day, sessions, count_loads, rate_loads,
+                              cloud_rate, rng) -> list[SessionRecord]:
         records = []
         hours = self.config.schedule.hours_per_day
         budget = self._cloud_egress_budget()
@@ -770,19 +819,23 @@ class CloudFogSystem:
         assert self.provisioner is not None
         hours = self.config.schedule.hours_per_day
         window = self.provisioner.window_hours
-        for window_start in range(1, hours + 1, window):
-            window_end = min(hours, window_start + window - 1)
-            online = sum(
-                1 for plan in plans
-                if any(plan.online_at(s)
-                       for s in range(window_start, window_end + 1)))
-            self.provisioner.observe(online)
-            if self.provisioner.ready:
-                target = min(self.provisioner.target_supernodes(),
-                             len(self.supernode_pool))
-                chosen = self.provisioner.choose_deployment(
-                    self.supernode_pool, target, rng)
-                self._deploy(chosen)
+        with obs.get_tracer().span("run_provisioning", windows=max(
+                1, -(-hours // window))):
+            for window_start in range(1, hours + 1, window):
+                window_end = min(hours, window_start + window - 1)
+                online = sum(
+                    1 for plan in plans
+                    if any(plan.online_at(s)
+                           for s in range(window_start, window_end + 1)))
+                self.provisioner.observe(online)
+                if self.provisioner.ready:
+                    target = min(self.provisioner.target_supernodes(),
+                                 len(self.supernode_pool))
+                    chosen = self.provisioner.choose_deployment(
+                        self.supernode_pool, target, rng)
+                    self._deploy(chosen)
+                    obs.get_registry().counter(
+                        "repro_provisioning_redeploys_total").inc()
 
     # -- failures / migration --------------------------------------------
     def fail_supernodes(self, count: int, rng: np.random.Generator
@@ -808,13 +861,23 @@ class CloudFogSystem:
         self.directory.rebuild(self.live_supernodes)
         for sn, _ in orphan_sets:
             self.candidates.forget_supernode(sn.supernode_id)
+        registry = obs.get_registry()
+        registry.counter("repro_supernode_failures_total").inc(len(failed))
+        registry.gauge("repro_live_supernodes").set(
+            len(self.live_supernodes))
         for sn, orphans in orphan_sets:
             for player in orphans:
                 self._sticky.pop(player, None)
                 game = self._games.get(player) or random_game(rng)
                 l_max = delay_threshold_ms(game.latency_requirement_ms)
-                latencies.append(FAILURE_DETECTION_MS
-                                 + self._migrate(player, l_max, rng))
+                latency = (FAILURE_DETECTION_MS
+                           + self._migrate(player, l_max, rng))
+                latencies.append(latency)
+                registry.counter("repro_migrations_total").inc()
+                registry.histogram("repro_migration_latency_ms").observe(
+                    latency)
+        self._log.info("supernode failures handled", extra=obs.kv(
+            failed=len(failed), migrated=len(latencies)))
         return latencies
 
     def _migrate(self, player: int, l_max: float,

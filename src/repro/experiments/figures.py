@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..core.config import cloudfog_basic
 from ..core.system import CloudFogSystem, RunResult
 from ..economics.incentives import IncentiveModel, daily_economics
@@ -22,7 +23,7 @@ from .coverage import (
     coverage_by_datacenters,
     coverage_by_supernode_hosts,
 )
-from .runner import VARIANTS, build_system, run_variant
+from .runner import VARIANTS, build_system, run_config, run_variant
 from .testbeds import Testbed, peersim, planetlab
 
 __all__ = [
@@ -304,7 +305,8 @@ def _load_sweep(strategy_field: str, loads, num_players, seed, days,
                 supernode_upload_override_mbps=upload_for_load(load),
                 seed=seed,
             ).with_(strategies=_single_strategy(strategy_field, enabled))
-            result = CloudFogSystem(config).run(days=days)
+            result = run_config(config, days=days,
+                                label=on_label if enabled else "CloudFog/B")
             row.append(result.mean_satisfied_ratio)
         table.add_row(*row)
     return table
@@ -364,7 +366,9 @@ def fig12_server_assignment(server_counts=(5, 10, 15, 20),
                 servers_per_datacenter=servers,
                 seed=seed,
             ).with_(strategies=_single_strategy("social_assignment", social))
-            result = CloudFogSystem(config).run(days=days)
+            result = run_config(
+                config, days=days,
+                label="CloudFog-social" if social else "CloudFog/B")
             server_ms = result.mean_server_latency_ms
             other_ms = result.mean_response_latency_ms - server_ms
             row.extend([server_ms, other_ms])
@@ -392,7 +396,10 @@ def _provisioning_results(peak_rates, offpeak_rate, num_players, seed, days
                 "dynamic_provisioning", dynamic))
             system = CloudFogSystem(config)
             system.set_arrival_rates(offpeak_rate, peak_rate)
-            results[(peak_rate, label)] = system.run(days=days)
+            with obs.get_tracer().span("run_variant", variant=label,
+                                       seed=seed, days=days,
+                                       peak_rate=peak_rate):
+                results[(peak_rate, label)] = system.run(days=days)
     return results
 
 

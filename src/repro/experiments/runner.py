@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from .. import obs
 from ..core.config import (
     SystemConfig,
     cdn,
@@ -12,7 +13,8 @@ from ..core.config import (
 from ..core.system import CloudFogSystem, RunResult
 from .testbeds import Testbed
 
-__all__ = ["VARIANTS", "variant_config", "build_system", "run_variant"]
+__all__ = ["VARIANTS", "variant_config", "build_system", "run_variant",
+           "run_config"]
 
 #: The system variants of the evaluation, by paper name.
 VARIANTS = ("Cloud", "CDN-small", "CDN", "CloudFog/B", "CloudFog/A")
@@ -55,7 +57,33 @@ def build_system(variant: str, testbed: Testbed, seed: int = 0,
 
 def run_variant(variant: str, testbed: Testbed, seed: int = 0,
                 days: int = 3, **overrides) -> RunResult:
-    """Build and run one variant; returns the measured results."""
+    """Build and run one variant; returns the measured results.
+
+    Each invocation opens one top-level ``run_variant`` trace span (a
+    no-op unless :func:`repro.obs.enable` ran) so a multi-variant sweep
+    decomposes cleanly in a trace or ``--profile`` breakdown.
+    """
     if days <= 0:
         raise ValueError("days must be positive")
-    return build_system(variant, testbed, seed, **overrides).run(days=days)
+    system = build_system(variant, testbed, seed, **overrides)
+    with obs.get_tracer().span("run_variant", variant=variant,
+                               testbed=testbed.name, seed=seed, days=days,
+                               players=system.config.num_players):
+        return system.run(days=days)
+
+
+def run_config(config: SystemConfig, days: int,
+               label: str = "custom") -> RunResult:
+    """Run an explicitly configured system under a ``run_variant`` span.
+
+    The ablation figures (10-15) build bespoke :class:`SystemConfig`\\ s
+    instead of named variants; routing them through this helper keeps
+    every system run visible in traces under the same span name.
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    system = CloudFogSystem(config)
+    with obs.get_tracer().span("run_variant", variant=label,
+                               seed=config.seed, days=days,
+                               players=config.num_players):
+        return system.run(days=days)

@@ -42,9 +42,22 @@ def _day_row(day) -> dict:
     return {field: getattr(day, field) for field in _DAY_FIELDS}
 
 
-def export_sessions_csv(result, path: str | Path) -> int:
-    """Write one CSV row per session record; returns the row count."""
+def _check_overwrite(path: Path, overwrite: bool) -> None:
+    if not overwrite and path.exists():
+        raise FileExistsError(
+            f"{path} already exists (pass overwrite=True to replace it)")
+
+
+def export_sessions_csv(result, path: str | Path,
+                        overwrite: bool = True) -> int:
+    """Write one CSV row per session record; returns the row count.
+
+    By default an existing file is silently replaced (``overwrite=True``,
+    matching historical behaviour); pass ``overwrite=False`` to raise
+    :class:`FileExistsError` instead of clobbering prior results.
+    """
     path = Path(path)
+    _check_overwrite(path, overwrite)
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=_SESSION_FIELDS)
         writer.writeheader()
@@ -55,9 +68,16 @@ def export_sessions_csv(result, path: str | Path) -> int:
     return count
 
 
-def export_days_csv(result, path: str | Path) -> int:
-    """Write one CSV row per measured day; returns the row count."""
+def export_days_csv(result, path: str | Path,
+                    overwrite: bool = True) -> int:
+    """Write one CSV row per measured day; returns the row count.
+
+    ``overwrite`` defaults to True (replace an existing file); with
+    ``overwrite=False`` an existing ``path`` raises
+    :class:`FileExistsError`.
+    """
     path = Path(path)
+    _check_overwrite(path, overwrite)
     with path.open("w", newline="") as handle:
         writer = csv.DictWriter(handle, fieldnames=_DAY_FIELDS)
         writer.writeheader()
@@ -66,11 +86,13 @@ def export_days_csv(result, path: str | Path) -> int:
     return len(result.days)
 
 
-def export_run_jsonl(result, path: str | Path) -> int:
+def export_run_jsonl(result, path: str | Path,
+                     overwrite: bool = True) -> int:
     """Write the whole run as JSON lines: one ``day`` object per
     measured day followed by its ``session`` objects; returns the line
-    count."""
+    count.  ``overwrite`` behaves as in :func:`export_sessions_csv`."""
     path = Path(path)
+    _check_overwrite(path, overwrite)
     lines = 0
     with path.open("w") as handle:
         for day in result.days:

@@ -1,0 +1,102 @@
+"""``repro.obs`` — observability for the whole simulation stack.
+
+Three pillars, one switch:
+
+* :mod:`repro.obs.metrics` — a registry of named counters, gauges and
+  fixed-bucket histograms with Prometheus-text and JSON exposition.
+* :mod:`repro.obs.trace` — a span tracer with nesting, monotonic
+  timing and JSONL export; :mod:`repro.obs.profile` turns finished
+  spans into a per-phase wall-clock table.
+* :mod:`repro.obs.log` — a ``repro.*`` stdlib-logging hierarchy with a
+  key=value formatter and env/CLI-controlled level.
+
+The stack is instrumented unconditionally but observability is **off by
+default**: :func:`get_tracer` / :func:`get_registry` hand back shared
+null objects whose methods are no-ops, so a disabled run does no timing,
+allocates nothing per call, never touches the RNG streams and produces
+bit-identical results (the determinism test in ``tests/obs`` pins this).
+Call :func:`enable` (the CLI does when any ``--trace`` / ``--metrics`` /
+``--profile`` / ``--log-level`` flag is passed) to swap in live objects;
+:func:`disable` restores the null path.
+
+Instrumented code always fetches the current objects at call time::
+
+    from .. import obs
+
+    with obs.get_tracer().span("run_day", day=day):
+        obs.get_registry().counter("repro_joins_total", kind="cloud").inc()
+
+Only very hot paths (the DES event loop) bind an instrument once at
+construction; such objects must be created *after* :func:`enable` to be
+observed — the CLI's ordering guarantees this.
+"""
+
+from __future__ import annotations
+
+from .log import configure_logging, get_logger, kv
+from .metrics import NULL_REGISTRY, MetricsRegistry, NullRegistry
+from .profile import phase_breakdown, profile_table
+from .trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "get_registry",
+    "configure_logging",
+    "get_logger",
+    "kv",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "phase_breakdown",
+    "profile_table",
+]
+
+_tracer: Tracer | NullTracer = NULL_TRACER
+_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def enabled() -> bool:
+    """True when live tracing/metrics objects are installed."""
+    return _tracer.enabled or _registry.enabled
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The active tracer (a shared no-op when disabled)."""
+    return _tracer
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The active metrics registry (a shared no-op when disabled)."""
+    return _registry
+
+
+def enable(tracing: bool = True, metrics: bool = True,
+           log_level: str | int | None = None
+           ) -> tuple[Tracer | NullTracer, MetricsRegistry | NullRegistry]:
+    """Install live observability objects; returns ``(tracer, registry)``.
+
+    Re-enabling replaces the live objects with fresh empty ones (runs do
+    not bleed into each other).  ``log_level`` additionally configures
+    the ``repro`` logging hierarchy.
+    """
+    global _tracer, _registry
+    if tracing:
+        _tracer = Tracer()
+    if metrics:
+        _registry = MetricsRegistry()
+    if log_level is not None:
+        configure_logging(log_level)
+    return _tracer, _registry
+
+
+def disable() -> None:
+    """Restore the zero-cost null tracer and registry."""
+    global _tracer, _registry
+    _tracer = NULL_TRACER
+    _registry = NULL_REGISTRY

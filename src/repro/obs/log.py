@@ -1,0 +1,103 @@
+"""Structured logging for the simulation stack.
+
+Every module logs through a ``repro.*`` stdlib logger obtained from
+:func:`get_logger`; :func:`configure_logging` installs one stream
+handler on the ``repro`` root with a key=value formatter::
+
+    ts=2026-08-05T12:00:00 level=info logger=repro.core.system \
+event="day done" day=3 sessions=412
+
+Extra key/value pairs ride on ``logger.info("day done", extra=kv(day=3,
+sessions=412))``.  The level resolves, in priority order, from the
+explicit argument, the ``REPRO_LOG_LEVEL`` environment variable, and a
+``WARNING`` default — so an un-configured run stays silent on stdout
+and the null observability path is preserved.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import IO
+
+__all__ = ["configure_logging", "get_logger", "kv", "ROOT_LOGGER_NAME",
+           "LEVEL_ENV_VAR"]
+
+ROOT_LOGGER_NAME = "repro"
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+#: Marker attribute identifying the handler we installed (so repeated
+#: configuration replaces it instead of stacking duplicates).
+_HANDLER_FLAG = "_repro_obs_handler"
+
+
+def kv(**fields) -> dict:
+    """Package structured fields for a log call's ``extra=`` argument."""
+    return {"kv_fields": fields}
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Renders records as ``key=value`` pairs, quoting values with spaces."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        pairs = [
+            ("ts", self.formatTime(record, "%Y-%m-%dT%H:%M:%S")),
+            ("level", record.levelname.lower()),
+            ("logger", record.name),
+            ("event", record.getMessage()),
+        ]
+        pairs.extend(getattr(record, "kv_fields", {}).items())
+        rendered = " ".join(f"{key}={self._quote(value)}"
+                            for key, value in pairs)
+        if record.exc_info:
+            rendered += "\n" + self.formatException(record.exc_info)
+        return rendered
+
+    @staticmethod
+    def _quote(value: object) -> str:
+        if isinstance(value, float):
+            text = f"{value:.6g}"
+        else:
+            text = str(value)
+        if any(ch in text for ch in (" ", "=", '"')):
+            return '"' + text.replace('"', '\\"') + '"'
+        return text
+
+
+def _resolve_level(level: str | int | None) -> int:
+    if level is None:
+        level = os.environ.get(LEVEL_ENV_VAR, "warning")
+    if isinstance(level, int):
+        return level
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return numeric
+
+
+def configure_logging(level: str | int | None = None,
+                      stream: IO[str] | None = None) -> logging.Logger:
+    """Install (or replace) the ``repro`` handler; returns the logger.
+
+    Idempotent: calling again just swaps the handler and level, so tests
+    and the CLI can reconfigure freely.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(_resolve_level(level))
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(KeyValueFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.`` hierarchy (accepts either form)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")

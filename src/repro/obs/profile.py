@@ -1,0 +1,58 @@
+"""Per-phase wall-clock breakdown over a tracer's finished spans.
+
+The CLI's ``--profile`` flag prints this after a run: one row per span
+name with call count, total/mean wall time and the share of *self* time
+(time inside the span minus time inside its traced children), so nested
+instrumentation does not double-count toward 100 %.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["phase_breakdown", "profile_table"]
+
+
+def phase_breakdown(spans: Iterable) -> list[dict]:
+    """Aggregate spans by name; returns rows sorted by total self time.
+
+    Each row carries ``name``, ``count``, ``total_s`` (inclusive),
+    ``self_s`` (exclusive of traced children), ``mean_ms`` and
+    ``self_share`` (fraction of the summed self time).
+    """
+    spans = list(spans)
+    child_time: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_time[span.parent_id] = (
+                child_time.get(span.parent_id, 0.0) + span.duration_s)
+    rows: dict[str, dict] = {}
+    for span in spans:
+        row = rows.setdefault(span.name, {
+            "name": span.name, "count": 0, "total_s": 0.0, "self_s": 0.0})
+        row["count"] += 1
+        row["total_s"] += span.duration_s
+        row["self_s"] += max(
+            0.0, span.duration_s - child_time.get(span.span_id, 0.0))
+    total_self = sum(row["self_s"] for row in rows.values()) or 1.0
+    out = sorted(rows.values(), key=lambda r: r["self_s"], reverse=True)
+    for row in out:
+        row["mean_ms"] = 1e3 * row["total_s"] / row["count"]
+        row["self_share"] = row["self_s"] / total_self
+    return out
+
+
+def profile_table(tracer):
+    """The breakdown as a printable ResultTable."""
+    from ..metrics.tables import ResultTable
+
+    table = ResultTable(
+        "Per-phase wall clock (traced spans)",
+        ["phase", "calls", "total_s", "self_s", "mean_ms", "self_%"])
+    for row in phase_breakdown(tracer.finished):
+        table.add_row(row["name"], row["count"], row["total_s"],
+                      row["self_s"], row["mean_ms"],
+                      100.0 * row["self_share"])
+    if not table.rows:
+        table.add_note("no spans recorded — was tracing enabled?")
+    return table

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Protocol
 
+from .. import obs
+
 __all__ = ["Clock", "Schedule", "CycleProtocol", "CycleScheduler", "PAPER_SCHEDULE"]
 
 
@@ -127,11 +129,19 @@ class CycleScheduler:
 
     def run_day(self, day: int) -> None:
         """Execute one day: start hooks, every subcycle, end hooks."""
-        for hook in self.day_start_hooks:
-            hook(day)
-        for hour in range(self.schedule.hours_per_day):
-            clock = Clock(day, hour)
-            for protocol in self.protocols:
-                protocol.on_subcycle(clock)
-        for hook in self.day_end_hooks:
-            hook(day)
+        tracer = obs.get_tracer()
+        with tracer.span("cycle_day", day=day):
+            for hook in self.day_start_hooks:
+                hook(day)
+            for hour in range(self.schedule.hours_per_day):
+                clock = Clock(day, hour)
+                # Subcycle spans only matter when protocols run per
+                # subcycle; hook-driven systems would emit 24 empty
+                # spans per day otherwise.
+                if self.protocols:
+                    with tracer.span("subcycle", day=day,
+                                     subcycle=clock.subcycle):
+                        for protocol in self.protocols:
+                            protocol.on_subcycle(clock)
+            for hook in self.day_end_hooks:
+                hook(day)

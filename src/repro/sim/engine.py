@@ -23,6 +23,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from .. import obs
+
 __all__ = [
     "Environment",
     "Event",
@@ -336,11 +338,21 @@ class AnyOf(Condition):
 class Environment:
     """The simulation environment: clock plus event queue."""
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0,
+                 trace_steps: bool = False) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        self.events_processed = 0
+        # Bound once: step() is the hottest loop in the repo, so it pays
+        # one no-op call when observability is disabled, not a registry
+        # lookup.  Environments must be created after obs.enable() to
+        # be observed (see repro.obs docs).
+        self._obs_events = obs.get_registry().counter(
+            "repro_des_events_total")
+        self._trace_steps = trace_steps
+        self._step_log = obs.get_logger(__name__) if trace_steps else None
 
     @property
     def now(self) -> float:
@@ -389,6 +401,11 @@ class Environment:
         except IndexError:
             raise EmptySchedule() from None
 
+        self.events_processed += 1
+        self._obs_events.inc()
+        if self._trace_steps:
+            self._step_log.debug("des step", extra=obs.kv(
+                t=self._now, event=type(event).__name__))
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

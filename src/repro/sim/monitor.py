@@ -78,6 +78,25 @@ class Counter:
     def as_dict(self) -> dict[str, int]:
         return dict(self._counts)
 
+    def items(self):
+        """A read-only (key, count) view, insertion-ordered."""
+        return self._counts.items()
+
+    def merge(self, other: "Counter") -> "Counter":
+        """Fold another counter's tallies into this one; returns self.
+
+        Lets per-shard / per-run counters aggregate into one (the obs
+        registry merges worker counters this way).
+        """
+        for key, count in other.items():
+            self.add(key, count)
+        return self
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{key}={count}"
+                         for key, count in self._counts.items())
+        return f"Counter({body})"
+
 
 @dataclass(frozen=True)
 class Summary:

@@ -54,6 +54,29 @@ def test_jsonl_structure(tmp_path, result):
     assert len(sessions) == len(result.sessions)
 
 
+@pytest.mark.parametrize("export", [export_sessions_csv, export_days_csv,
+                                    export_run_jsonl])
+def test_overwrite_false_refuses_existing_file(tmp_path, result, export):
+    path = tmp_path / "out.dat"
+    export(result, path)
+    original = path.read_text()
+    with pytest.raises(FileExistsError):
+        export(result, path, overwrite=False)
+    assert path.read_text() == original  # untouched
+
+
+@pytest.mark.parametrize("export", [export_sessions_csv, export_days_csv,
+                                    export_run_jsonl])
+def test_overwrite_default_replaces_and_fresh_path_ok(tmp_path, result,
+                                                      export):
+    path = tmp_path / "out.dat"
+    # overwrite=False on a fresh path writes normally
+    count = export(result, path, overwrite=False)
+    assert count > 0
+    # the default replaces silently (historical behaviour)
+    assert export(result, path) == count
+
+
 def test_summary_table_renders(result):
     table = result.summary_table()
     text = table.render()

@@ -1,0 +1,25 @@
+"""Shared fixtures: every obs test leaves the global switch off."""
+
+import logging
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _restore_null_observability():
+    yield
+    obs.disable()
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+@pytest.fixture()
+def live_obs():
+    """Enable observability; returns (tracer, registry)."""
+    return obs.enable()

@@ -1,0 +1,87 @@
+"""Tests for the key=value logging layer."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.log import (
+    LEVEL_ENV_VAR,
+    KeyValueFormatter,
+    configure_logging,
+    get_logger,
+    kv,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    yield
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger("core.system").name == "repro.core.system"
+    assert get_logger("repro.sim").name == "repro.sim"
+    assert get_logger("repro").name == "repro"
+
+
+def test_key_value_lines(capsys):
+    stream = io.StringIO()
+    configure_logging("info", stream=stream)
+    get_logger("core").info("day done", extra=kv(day=3, sessions=412))
+    line = stream.getvalue().strip()
+    assert "level=info" in line
+    assert "logger=repro.core" in line
+    assert 'event="day done"' in line
+    assert "day=3" in line
+    assert "sessions=412" in line
+
+
+def test_values_with_spaces_are_quoted():
+    formatter = KeyValueFormatter()
+    record = logging.LogRecord("repro.x", logging.WARNING, __file__, 1,
+                               "odd value", (), None)
+    record.kv_fields = {"note": "a b=c", "ratio": 0.25}
+    text = formatter.format(record)
+    assert 'note="a b=c"' in text
+    assert "ratio=0.25" in text
+
+
+def test_level_filtering(capsys):
+    stream = io.StringIO()
+    configure_logging("warning", stream=stream)
+    logger = get_logger("quiet")
+    logger.info("hidden")
+    logger.warning("shown")
+    output = stream.getvalue()
+    assert "hidden" not in output
+    assert "shown" in output
+
+
+def test_env_var_controls_default_level(monkeypatch):
+    monkeypatch.setenv(LEVEL_ENV_VAR, "debug")
+    root = configure_logging()
+    assert root.level == logging.DEBUG
+    monkeypatch.delenv(LEVEL_ENV_VAR)
+    root = configure_logging()
+    assert root.level == logging.WARNING
+
+
+def test_unknown_level_raises():
+    with pytest.raises(ValueError):
+        configure_logging("chatty")
+
+
+def test_reconfigure_replaces_handler_not_stacks():
+    configure_logging("info")
+    configure_logging("debug")
+    root = logging.getLogger("repro")
+    ours = [h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)]
+    assert len(ours) == 1
+    assert root.level == logging.DEBUG

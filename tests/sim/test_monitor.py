@@ -56,6 +56,42 @@ def test_counter_empty_ratio_is_zero():
     assert Counter().ratio("anything") == 0.0
 
 
+def test_counter_items_view():
+    counter = Counter()
+    counter.add("a", 2)
+    counter.add("b")
+    assert dict(counter.items()) == {"a": 2, "b": 1}
+    assert list(counter.items()) == [("a", 2), ("b", 1)]
+
+
+def test_counter_merge_adds_and_chains():
+    left, right = Counter(), Counter()
+    left.add("a", 1)
+    left.add("b", 2)
+    right.add("b", 3)
+    right.add("c", 4)
+    result = left.merge(right)
+    assert result is left
+    assert left.as_dict() == {"a": 1, "b": 5, "c": 4}
+    # the source counter is untouched
+    assert right.as_dict() == {"b": 3, "c": 4}
+
+
+def test_counter_merge_empty_is_identity():
+    counter = Counter()
+    counter.add("x", 7)
+    counter.merge(Counter())
+    assert counter.as_dict() == {"x": 7}
+
+
+def test_counter_repr():
+    counter = Counter()
+    counter.add("covered", 3)
+    counter.add("uncovered")
+    assert repr(counter) == "Counter(covered=3, uncovered=1)"
+    assert repr(Counter()) == "Counter()"
+
+
 def test_summarize_basic_statistics():
     summary = summarize([1, 2, 3, 4, 5])
     assert summary.count == 5

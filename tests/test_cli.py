@@ -1,8 +1,17 @@
 """Tests for the python -m repro command line."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.__main__ import FIGURES, build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    yield
+    obs.disable()
 
 
 def test_every_figure_is_registered():
@@ -45,6 +54,69 @@ def test_parser_defaults():
     args = build_parser().parse_args(["fig4a"])
     assert args.seed == 0
     assert args.players is None
+    assert args.trace is None
+    assert args.metrics is None
+    assert args.profile is False
+    assert args.log_level is None
+
+
+def test_observability_flags_write_trace_metrics_profile(tmp_path, capsys):
+    trace = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.prom"
+    assert main(["fig6", "--players", "120",
+                 "--trace", str(trace), "--metrics", str(metrics),
+                 "--profile"]) == 0
+    captured = capsys.readouterr()
+    # per-phase table printed after the figure table
+    assert "Per-phase wall clock" in captured.out
+    assert "run_variant" in captured.out
+    # non-empty JSONL trace with nested run_variant -> run_day spans
+    rows = [json.loads(line) for line in trace.read_text().splitlines()]
+    assert rows
+    by_id = {row["span_id"]: row for row in rows}
+    day_rows = [row for row in rows if row["name"] == "run_day"]
+    assert day_rows
+
+    def ancestor_names(row):
+        while row["parent_id"] is not None:
+            row = by_id[row["parent_id"]]
+            yield row["name"]
+
+    assert all("run_variant" in list(ancestor_names(row))
+               for row in day_rows)
+    # parsable Prometheus-style metrics file
+    text = metrics.read_text()
+    assert "# TYPE repro_sessions_total counter" in text
+    for line in text.strip().splitlines():
+        if not line.startswith("#"):
+            float(line.rsplit(" ", 1)[1])
+
+
+def test_metrics_json_suffix_switches_format(tmp_path):
+    metrics = tmp_path / "m.json"
+    assert main(["fig4a", "--metrics", str(metrics)]) == 0
+    assert isinstance(json.loads(metrics.read_text()), dict)
+
+
+def test_without_flags_observability_stays_disabled(capsys):
+    assert main(["fig16a"]) == 0
+    assert not obs.enabled()
+    assert "Per-phase" not in capsys.readouterr().out
+
+
+def test_bad_log_level_fails_fast(capsys):
+    assert main(["fig16a", "--log-level", "chatty"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown log level 'chatty'" in captured.err
+    assert captured.out == ""  # failed before running the figure
+
+
+def test_unwritable_output_path_fails_fast(capsys, tmp_path):
+    missing = tmp_path / "no-such-dir" / "t.jsonl"
+    assert main(["fig16a", "--trace", str(missing)]) == 2
+    captured = capsys.readouterr()
+    assert "cannot write" in captured.err
+    assert captured.out == ""
 
 
 def test_seed_flag_changes_nothing_for_deterministic_figures(capsys):
