@@ -6,6 +6,7 @@ Usage::
     python -m repro fig4a                # print one figure's table
     python -m repro fig8 --seed 3        # with a different seed
     python -m repro fig6 --players 400 800
+    python -m repro fig7 --jobs 4        # parallel sweep (figs 6-8)
 
 Observability (see :mod:`repro.obs` and README "Observability")::
 
@@ -30,28 +31,31 @@ import sys
 
 from . import experiments, obs
 
-#: CLI name -> (experiments function, accepts seed, accepts players).
+#: CLI name -> (experiments function, accepts seed, accepts players,
+#: accepts jobs).  Only the multi-run comparison sweeps parallelise.
 FIGURES = {
-    "fig4a": (experiments.fig4a_coverage_vs_datacenters, True, False),
-    "fig4b": (experiments.fig4b_coverage_vs_supernodes, True, False),
-    "fig5a": (experiments.fig5a_coverage_vs_datacenters_planetlab, True, False),
-    "fig5b": (experiments.fig5b_coverage_vs_supernodes_planetlab, True, False),
-    "fig6": (experiments.fig6_bandwidth, True, True),
-    "fig6b": (experiments.fig6b_bandwidth_planetlab, True, True),
-    "fig7": (experiments.fig7_response_latency, True, True),
-    "fig7b": (experiments.fig7b_latency_planetlab, True, True),
-    "fig8": (experiments.fig8_continuity, True, True),
-    "fig8b": (experiments.fig8b_continuity_planetlab, True, True),
-    "fig9": (experiments.fig9_setup_latencies, True, True),
-    "fig9b": (experiments.fig9b_latencies_vs_supernodes, True, False),
-    "fig10": (experiments.fig10_reputation, True, False),
-    "fig11": (experiments.fig11_adaptation, True, False),
-    "fig12": (experiments.fig12_server_assignment, True, False),
-    "fig13": (experiments.fig13_provisioning_bandwidth, True, False),
-    "fig14": (experiments.fig14_provisioning_latency, True, False),
-    "fig15": (experiments.fig15_provisioning_continuity, True, False),
-    "fig16a": (experiments.fig16a_supernode_economics, False, False),
-    "fig16b": (experiments.fig16b_provider_savings, False, False),
+    "fig4a": (experiments.fig4a_coverage_vs_datacenters, True, False, False),
+    "fig4b": (experiments.fig4b_coverage_vs_supernodes, True, False, False),
+    "fig5a": (experiments.fig5a_coverage_vs_datacenters_planetlab,
+              True, False, False),
+    "fig5b": (experiments.fig5b_coverage_vs_supernodes_planetlab,
+              True, False, False),
+    "fig6": (experiments.fig6_bandwidth, True, True, True),
+    "fig6b": (experiments.fig6b_bandwidth_planetlab, True, True, True),
+    "fig7": (experiments.fig7_response_latency, True, True, True),
+    "fig7b": (experiments.fig7b_latency_planetlab, True, True, True),
+    "fig8": (experiments.fig8_continuity, True, True, True),
+    "fig8b": (experiments.fig8b_continuity_planetlab, True, True, True),
+    "fig9": (experiments.fig9_setup_latencies, True, True, False),
+    "fig9b": (experiments.fig9b_latencies_vs_supernodes, True, False, False),
+    "fig10": (experiments.fig10_reputation, True, False, False),
+    "fig11": (experiments.fig11_adaptation, True, False, False),
+    "fig12": (experiments.fig12_server_assignment, True, False, False),
+    "fig13": (experiments.fig13_provisioning_bandwidth, True, False, False),
+    "fig14": (experiments.fig14_provisioning_latency, True, False, False),
+    "fig15": (experiments.fig15_provisioning_continuity, True, False, False),
+    "fig16a": (experiments.fig16a_supernode_economics, False, False, False),
+    "fig16b": (experiments.fig16b_provider_savings, False, False, False),
 }
 
 
@@ -65,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment seed (default 0)")
     parser.add_argument("--players", type=int, nargs="+", default=None,
                         help="player-count sweep (figures 6-9 only)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for multi-run sweeps "
+                             "(figures 6-8; 0 = all cores, default "
+                             "sequential)")
     parser.add_argument("--chart", action="store_true",
                         help="render ASCII bar charts instead of a table")
     group = parser.add_argument_group("observability")
@@ -86,7 +94,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.figure == "list":
-        for name, (func, _, _) in sorted(FIGURES.items()):
+        for name, (func, _, _, _) in sorted(FIGURES.items()):
             doc = (func.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<8} {doc}")
         return 0
@@ -94,7 +102,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown figure {args.figure!r}; try 'list'",
               file=sys.stderr)
         return 2
-    func, takes_seed, takes_players = FIGURES[args.figure]
+    func, takes_seed, takes_players, takes_jobs = FIGURES[args.figure]
     kwargs = {}
     if takes_seed:
         kwargs["seed"] = args.seed
@@ -104,6 +112,12 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         kwargs["player_counts"] = tuple(args.players)
+    if args.jobs is not None:
+        if not takes_jobs:
+            print(f"{args.figure} does not take --jobs",
+                  file=sys.stderr)
+            return 2
+        kwargs["jobs"] = args.jobs
     observing = bool(args.trace or args.metrics or args.profile
                      or args.log_level)
     if observing:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..network.latency import PLAYOUT_PROCESSING_MS
 from ..network.topology import Topology
 from ..reputation.scores import ReputationTable
@@ -59,36 +60,132 @@ def delay_threshold_ms(game_requirement_ms: float,
 
 
 class SupernodeDirectory:
-    """The cloud's supernode table: locations and available capacities."""
+    """The cloud's supernode table: locations and available capacities.
+
+    Lookups go through a uniform spatial grid over the supernode
+    coordinates: cells hold pool indices, and :meth:`candidates_for`
+    expands square rings around the player's cell until the ``count``
+    nearest available supernodes are guaranteed found (every point
+    outside rings ``0..r`` lies strictly farther than ``r`` cell widths
+    from the player, so the expansion stops as soon as the k-th best
+    distance fits inside the covered radius).  Capacity is masked
+    incrementally — only the candidates in visited cells are asked —
+    instead of re-scanning the whole pool per join.
+    """
 
     def __init__(self, topology: Topology, supernodes: list[Supernode]):
         self.topology = topology
-        self.supernodes = supernodes
-        self._coords = np.array([[sn.x_km, sn.y_km] for sn in supernodes],
-                                dtype=np.float64).reshape(len(supernodes), 2)
-        self._access = np.array([sn.access_ms for sn in supernodes],
-                                dtype=np.float64)
+        self._rebuild_state(supernodes)
 
     def __len__(self) -> int:
         return len(self.supernodes)
 
+    def _rebuild_state(self, supernodes: list[Supernode]) -> None:
+        """(Re)derive coordinate arrays and the spatial grid."""
+        self.supernodes = supernodes
+        n = len(supernodes)
+        self._coords = np.array([[sn.x_km, sn.y_km] for sn in supernodes],
+                                dtype=np.float64).reshape(n, 2)
+        self._access = np.array([sn.access_ms for sn in supernodes],
+                                dtype=np.float64)
+        # Plain-float coordinate lists: the ring scan touches a handful
+        # of entries per lookup, where Python floats beat numpy scalars.
+        self._xs = self._coords[:, 0].tolist()
+        self._ys = self._coords[:, 1].tolist()
+        if n == 0:
+            self._origin = (0.0, 0.0)
+            self._cell_km = 1.0
+            self._grid_nx = self._grid_ny = 0
+            self._cells: dict[tuple[int, int], list[int]] = {}
+            return
+        mins = self._coords.min(axis=0)
+        maxs = self._coords.max(axis=0)
+        extent = float(max(maxs[0] - mins[0], maxs[1] - mins[1]))
+        # ~2 supernodes per occupied cell keeps rings shallow without
+        # fragmenting the pool across thousands of empty cells.
+        per_axis = max(1, int(np.ceil(np.sqrt(n / 2.0))))
+        self._cell_km = extent / per_axis if extent > 0 else 1.0
+        self._origin = (float(mins[0]), float(mins[1]))
+        self._grid_nx = int((maxs[0] - mins[0]) / self._cell_km) + 1
+        self._grid_ny = int((maxs[1] - mins[1]) / self._cell_km) + 1
+        cells: dict[tuple[int, int], list[int]] = {}
+        for i in range(n):
+            key = (min(self._grid_nx - 1,
+                       int((self._xs[i] - self._origin[0]) / self._cell_km)),
+                   min(self._grid_ny - 1,
+                       int((self._ys[i] - self._origin[1]) / self._cell_km)))
+            cells.setdefault(key, []).append(i)
+        self._cells = cells
+
     def rebuild(self, supernodes: list[Supernode]) -> None:
         """Replace the supernode set (dynamic provisioning re-deploys)."""
-        self.__init__(self.topology, supernodes)
+        self._rebuild_state(supernodes)
+
+    def _player_cell(self, player: int) -> tuple[float, float, int, int]:
+        px = float(self.topology.player_coords[player, 0])
+        py = float(self.topology.player_coords[player, 1])
+        cx = min(self._grid_nx - 1,
+                 max(0, int((px - self._origin[0]) // self._cell_km)))
+        cy = min(self._grid_ny - 1,
+                 max(0, int((py - self._origin[1]) // self._cell_km)))
+        return px, py, cx, cy
+
+    def _ring_cells(self, cx: int, cy: int, ring: int):
+        """Grid cells at Chebyshev distance exactly ``ring`` from (cx, cy)."""
+        nx, ny = self._grid_nx, self._grid_ny
+        if ring == 0:
+            yield (cx, cy)
+            return
+        x_lo, x_hi = cx - ring, cx + ring
+        y_lo, y_hi = cy - ring, cy + ring
+        for ix in range(max(0, x_lo), min(nx - 1, x_hi) + 1):
+            if y_lo >= 0:
+                yield (ix, y_lo)
+            if y_hi < ny:
+                yield (ix, y_hi)
+        for iy in range(max(0, y_lo + 1), min(ny - 1, y_hi - 1) + 1):
+            if x_lo >= 0:
+                yield (x_lo, iy)
+            if x_hi < nx:
+                yield (x_hi, iy)
 
     def candidates_for(self, player: int, count: int) -> list[Supernode]:
         """The ``count`` closest supernodes with free capacity."""
         if count < 1:
             raise ValueError("count must be >= 1")
-        available = [i for i, sn in enumerate(self.supernodes)
-                     if sn.has_capacity]
-        if not available:
+        if not self.supernodes:
             return []
-        coords = self._coords[available]
-        deltas = coords - self.topology.player_coords[player][None, :]
-        distances = np.sqrt((deltas ** 2).sum(axis=1))
-        order = np.argsort(distances)[:count]
-        return [self.supernodes[available[int(i)]] for i in order]
+        px, py, cx, cy = self._player_cell(player)
+        max_ring = max(cx, self._grid_nx - 1 - cx,
+                       cy, self._grid_ny - 1 - cy)
+        supernodes = self.supernodes
+        xs, ys = self._xs, self._ys
+        cells = self._cells
+        # (distance², pool index) pairs; plain tuples sort faster than a
+        # numpy partition at the handful of entries a lookup touches.
+        found: list[tuple[float, int]] = []
+        ring = 0
+        while ring <= max_ring:
+            for key in self._ring_cells(cx, cy, ring):
+                bucket = cells.get(key)
+                if bucket is None:
+                    continue
+                for i in bucket:
+                    if supernodes[i].has_capacity:
+                        dx = xs[i] - px
+                        dy = ys[i] - py
+                        found.append((dx * dx + dy * dy, i))
+            if len(found) >= count:
+                covered = ring * self._cell_km
+                found.sort()
+                if found[count - 1][0] <= covered * covered:
+                    break
+            ring += 1
+        obs.get_registry().histogram(
+            "repro_directory_rings_scanned",
+            buckets=(0, 1, 2, 3, 5, 8, 13, 21)).observe(ring)
+        found.sort()
+        return [supernodes[i] for _, i in found[:count]]
 
     def probe_delays_ms(self, player: int,
                         candidates: list[Supernode]) -> np.ndarray:

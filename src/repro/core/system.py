@@ -36,6 +36,7 @@ workloads — baseline comparisons are paired.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -52,7 +53,11 @@ from ..reputation.scores import ReputationTable
 from ..sim.rng import RngFactory
 from ..streaming.compression import LIVERENDER_LIKE
 from ..streaming.continuity import satisfied_ratio
-from ..streaming.session import SessionConfig, estimate_continuity
+from ..streaming.session import (
+    SessionConfig,
+    estimate_continuity,
+    estimate_continuity_batch,
+)
 from ..workload.churn import (
     DurationMixture,
     PlayerDayPlan,
@@ -68,7 +73,8 @@ from .provisioning import Provisioner
 from .selection import SupernodeDirectory, delay_threshold_ms, select_supernode
 from .server_assignment import assign_players_randomly, assign_players_socially
 
-__all__ = ["SessionRecord", "DayMetrics", "RunResult", "CloudFogSystem"]
+__all__ = ["SessionRecord", "DayMetrics", "RunResult", "SweepLoads",
+           "CloudFogSystem"]
 
 #: Failure-detection timeout before a migration starts (periodic probing
 #: of the supernode, §3.2.2); dominates the ~0.8 s migration latency.
@@ -144,53 +150,80 @@ class RunResult:
     supernode_join_latencies_ms: list[float] = field(default_factory=list)
     migration_latencies_ms: list[float] = field(default_factory=list)
     assignment_wall_times_s: list[float] = field(default_factory=list)
+    #: One-pass aggregate cache over ``days``; rebuilt when days grow.
+    _aggregate_cache: dict | None = field(default=None, init=False,
+                                          repr=False, compare=False)
 
     def _measured(self) -> list[DayMetrics]:
         if not self.days:
             raise ValueError("the run produced no measured days")
         return self.days
 
+    def _aggregate(self) -> dict:
+        """Per-day metric columns gathered in one pass and cached.
+
+        The mean properties used to rebuild a fresh list per property
+        access; the sweep code reads several of them per run, so the
+        columns are collected once and invalidated by day count.
+        """
+        days = self._measured()
+        cache = self._aggregate_cache
+        if cache is not None and cache["num_days"] == len(days):
+            return cache
+        columns: dict[str, list] = {
+            "online_players": [], "supernode_players": [],
+            "cloud_bandwidth_mbps": [], "mean_response_latency_ms": [],
+            "mean_server_latency_ms": [], "mean_continuity": [],
+            "satisfied_ratio": [],
+        }
+        for day in days:
+            for name, values in columns.items():
+                values.append(getattr(day, name))
+        cache = {name: float(np.mean(values))
+                 for name, values in columns.items()}
+        cache["num_days"] = len(days)
+        cache["online_total"] = sum(columns["online_players"])
+        cache["supernode_total"] = sum(columns["supernode_players"])
+        self._aggregate_cache = cache
+        return cache
+
     @property
     def mean_response_latency_ms(self) -> float:
-        return float(np.mean(
-            [d.mean_response_latency_ms for d in self._measured()]))
+        return self._aggregate()["mean_response_latency_ms"]
 
     @property
     def mean_server_latency_ms(self) -> float:
-        return float(np.mean(
-            [d.mean_server_latency_ms for d in self._measured()]))
+        return self._aggregate()["mean_server_latency_ms"]
 
     @property
     def mean_continuity(self) -> float:
-        return float(np.mean([d.mean_continuity for d in self._measured()]))
+        return self._aggregate()["mean_continuity"]
 
     @property
     def mean_satisfied_ratio(self) -> float:
-        return float(np.mean([d.satisfied_ratio for d in self._measured()]))
+        return self._aggregate()["satisfied_ratio"]
 
     @property
     def mean_cloud_bandwidth_mbps(self) -> float:
-        return float(np.mean(
-            [d.cloud_bandwidth_mbps for d in self._measured()]))
+        return self._aggregate()["cloud_bandwidth_mbps"]
 
     @property
     def supernode_coverage(self) -> float:
         """Share of online players served by supernodes."""
-        days = self._measured()
-        online = sum(d.online_players for d in days)
-        if online == 0:
+        aggregate = self._aggregate()
+        if aggregate["online_total"] == 0:
             return 0.0
-        return sum(d.supernode_players for d in days) / online
+        return aggregate["supernode_total"] / aggregate["online_total"]
 
     def summary_table(self):
         """The headline metrics as a printable ResultTable."""
         from ..metrics.tables import ResultTable
 
+        aggregate = self._aggregate()
         table = ResultTable("Run summary (measured days)",
                             ["metric", "value"])
-        table.add_row("measured days", len(self._measured()))
-        table.add_row("mean online players", float(np.mean(
-            [d.online_players for d in self._measured()])))
+        table.add_row("measured days", aggregate["num_days"])
+        table.add_row("mean online players", aggregate["online_players"])
         table.add_row("supernode coverage", self.supernode_coverage)
         table.add_row("mean response latency (ms)",
                       self.mean_response_latency_ms)
@@ -199,6 +232,35 @@ class RunResult:
         table.add_row("cloud bandwidth (Mbit/s)",
                       self.mean_cloud_bandwidth_mbps)
         return table
+
+
+@dataclass
+class SweepLoads:
+    """Per-supernode load timelines of one day as dense 2-D arrays.
+
+    Row ``i`` belongs to live supernode ``ids[i]``; columns are the
+    ``hours + 2`` subcycle slots the sweep indexes (slot 0 unused, the
+    trailing slot absorbs sessions running through the last subcycle).
+    Replaces the former per-supernode dict-of-arrays so the batch
+    scorer can gather load statistics without dict churn.
+    """
+
+    ids: tuple[int, ...]
+    counts: np.ndarray  # (num_live, hours + 2) concurrent players
+    rates: np.ndarray   # (num_live, hours + 2) committed stream Mbit/s
+    _rows: dict[int, int] = field(repr=False)
+
+    @classmethod
+    def for_supernodes(cls, supernodes: list[Supernode],
+                       hours: int) -> "SweepLoads":
+        ids = tuple(sn.supernode_id for sn in supernodes)
+        shape = (len(ids), hours + 2)
+        return cls(ids=ids, counts=np.zeros(shape), rates=np.zeros(shape),
+                   _rows={sn_id: row for row, sn_id in enumerate(ids)})
+
+    def row(self, supernode_id: int) -> int | None:
+        """Row index of a live supernode (None when not deployed)."""
+        return self._rows.get(supernode_id)
 
 
 @dataclass
@@ -228,6 +290,10 @@ class CloudFogSystem:
             config.supernode_capable_share)
         self.topology = self.population.topology
         self.transport = TransportModel()
+        #: Batch (vectorised) session scoring.  The scalar reference
+        #: loop stays available behind this switch for the paired
+        #: equivalence tests and the benchmark harness.
+        self.use_batch_scoring = True
 
         # LiveRender-style compression on direct cloud flows (§2).
         self.compression = (LIVERENDER_LIKE if config.cloud_compression
@@ -256,6 +322,7 @@ class CloudFogSystem:
         self.directory: SupernodeDirectory | None = None
         self.cdn_coords = np.empty((0, 2))
         self.cdn_access = np.empty(0)
+        self._live_ids: set[int] = set()
         if config.mode == "cloudfog":
             self._build_supernode_pool()
             count = min(config.num_supernodes, len(self.supernode_pool))
@@ -467,13 +534,13 @@ class CloudFogSystem:
             # (3) Subcycle sweep.
             selection_rng = self.rng_factory.stream(f"selection-{day}")
             with tracer.span("sweep_day", day=day, plans=len(plans)):
-                sessions, count_loads, rate_loads, cloud_rate = \
+                sessions, loads, cloud_rate = \
                     self._sweep_day(plans, selection_rng, result, measuring)
 
             # (4)+(5) Per-session QoS and ratings.
             qos_rng = self.rng_factory.stream(f"qos-{day}")
-            records = self._score_sessions(day, sessions, count_loads,
-                                           rate_loads, cloud_rate, qos_rng)
+            records = self._score_sessions(day, sessions, loads,
+                                           cloud_rate, qos_rng)
             with tracer.span("ratings", day=day):
                 for record in records:
                     if record.kind is ConnectionKind.SUPERNODE:
@@ -486,9 +553,9 @@ class CloudFogSystem:
             # (5b) Credit the contributors: one hour at rate r Mbit/s is
             # r * 0.45 GB; a live supernode is online the whole day.
             for sn in self.live_supernodes:
-                loads = rate_loads.get(sn.supernode_id)
-                gb = (float(loads[1:25].sum()) * 0.45
-                      if loads is not None else 0.0)
+                row = loads.row(sn.supernode_id)
+                gb = (float(loads.rates[row, 1:25].sum()) * 0.45
+                      if row is not None else 0.0)
                 self.credits.record_day(sn.supernode_id, gb,
                                         hours_online=24.0)
 
@@ -514,7 +581,7 @@ class CloudFogSystem:
             metrics.cloud_players = sum(
                 1 for r in records if r.kind is ConnectionKind.CLOUD)
             metrics.cloud_bandwidth_mbps = self._cloud_bandwidth(
-                cloud_rate, count_loads)
+                cloud_rate, loads)
             metrics.mean_response_latency_ms = float(np.mean(
                 [r.response_latency_ms for r in records]))
             metrics.mean_server_latency_ms = float(np.mean(
@@ -559,10 +626,8 @@ class CloudFogSystem:
 
         sessions: dict[int, _Session] = {}
         ends: dict[int, list[int]] = {}
-        count_loads = {sn.supernode_id: np.zeros(hours + 2)
-                       for sn in self.live_supernodes}
-        rate_loads = {sn.supernode_id: np.zeros(hours + 2)
-                      for sn in self.live_supernodes}
+        loads = SweepLoads.for_supernodes(self.live_supernodes, hours)
+        counts, rates = loads.counts, loads.rates
         cloud_rate = np.zeros(hours + 2)
 
         for subcycle in range(1, hours + 1):
@@ -579,9 +644,9 @@ class CloudFogSystem:
                 game = self._games[plan.player]
                 span = slice(subcycle, end + 1)
                 if session.supernode_id is not None:
-                    count_loads[session.supernode_id][span] += 1
-                    rate_loads[session.supernode_id][span] += \
-                        game.stream_rate_mbps
+                    row = loads.row(session.supernode_id)
+                    counts[row, span] += 1
+                    rates[row, span] += game.stream_rate_mbps
                 elif session.kind is ConnectionKind.CLOUD:
                     rate = game.stream_rate_mbps
                     if self.compression is not None:
@@ -593,7 +658,7 @@ class CloudFogSystem:
         for player, session in sessions.items():
             if session.supernode_id is not None:
                 self.supernode_pool[session.supernode_id].disconnect(player)
-        return sessions, count_loads, rate_loads, cloud_rate
+        return sessions, loads, cloud_rate
 
     def _join(self, plan: PlayerDayPlan, rng: np.random.Generator) -> _Session:
         """Connect one starting session to its video source.
@@ -690,15 +755,164 @@ class CloudFogSystem:
             distance, self.topology.player_access_ms[player], sn.access_ms))
 
     # -- session scoring -----------------------------------------------------
-    def _score_sessions(self, day, sessions, count_loads, rate_loads,
-                        cloud_rate, rng) -> list[SessionRecord]:
-        with obs.get_tracer().span("score_sessions", day=day,
-                                   sessions=len(sessions)):
-            return self._score_sessions_inner(day, sessions, count_loads,
-                                              rate_loads, cloud_rate, rng)
+    #: Per-packet sample count of the fast session estimate.
+    _QOS_SAMPLES = 64
+    #: Modelled session length (seconds) fed to the estimate.
+    _QOS_DURATION_S = 60.0
 
-    def _score_sessions_inner(self, day, sessions, count_loads, rate_loads,
-                              cloud_rate, rng) -> list[SessionRecord]:
+    def _score_sessions(self, day, sessions, loads, cloud_rate,
+                        rng) -> list[SessionRecord]:
+        with obs.get_tracer().span("score_sessions", day=day,
+                                   sessions=len(sessions),
+                                   batch=self.use_batch_scoring):
+            if self.use_batch_scoring:
+                return self._score_sessions_inner(day, sessions, loads,
+                                                  cloud_rate, rng)
+            return self._score_sessions_scalar(day, sessions, loads,
+                                               cloud_rate, rng)
+
+    def _gather_session_params(self, sessions, loads, cloud_rate):
+        """Per-session scoring inputs as parallel arrays.
+
+        The per-session arithmetic (load means, utilisation, per-flow
+        shares) runs on plain Python floats in session order — exactly
+        the scalar reference loop — so the batch scorer receives
+        bit-identical inputs.  Per-window utilisation and share values
+        are memoised per ``(target, start, end)`` key: the repeated
+        value is the scalar loop's own arithmetic computed once, not a
+        re-derivation, so the memo cannot change a bit.  Continuity deadline semantics: the
+        game's Table-2 requirement applies to packet delivery on the
+        downstream path (upstream 0, processing = encode only); server
+        interaction pipelines with rendering, so it affects only the
+        response metric.
+        """
+        hours = self.config.schedule.hours_per_day
+        budget = self._cloud_egress_budget()
+        download = self.topology.player_links.download_mbps
+        games = self._games
+        pool = self.supernode_pool
+        nearest_dc = self._nearest_dc
+        counts_mat, rates_mat = loads.counts, loads.rates
+        row_of = loads.row
+        server_cache = self._server_latency_cache
+        default_hop_ms = self.datacenters[0].hop_ms
+        encode_cloud_ms = (self.compression.encode_latency_ms
+                           if self.compression is not None else 0.0)
+        load_stats: dict[tuple[int, int, int], tuple[float, float]] = {}
+        cloud_utils: dict[tuple[int, int], float] = {}
+        meta = []  # (player, session, game, target, server_latency_ms)
+        budgets: list[float] = []
+        path_lat: list[float] = []
+        senders: list[float] = []
+        receivers: list[float] = []
+        processing: list[float] = []
+        utils: list[float] = []
+        for player, session in sessions.items():
+            game = games[player]
+            plan = session.plan
+            start = min(plan.start_subcycle, hours)
+            end = min(hours, start + math.ceil(plan.duration_hours) - 1)
+
+            sid = session.supernode_id
+            if sid is not None:
+                key = (sid, start, end)
+                stats = load_stats.get(key)
+                if stats is None:
+                    row = row_of(sid)
+                    mean_count = max(
+                        1.0, float(counts_mat[row, start:end + 1].mean()))
+                    mean_rate = float(rates_mat[row, start:end + 1].mean())
+                    sn = pool[sid]
+                    effective_upload = sn.upload_mbps * sn.throttle
+                    stats = (min(2.0, mean_rate / effective_upload),
+                             max(0.05, effective_upload / mean_count))
+                    load_stats[key] = stats
+                utilization, sender_share = stats
+                encode_ms = 0.0
+                target = sid
+            else:
+                window = (start, end)
+                utilization = cloud_utils.get(window)
+                if utilization is None:
+                    concurrent = float(cloud_rate[start:end + 1].mean())
+                    utilization = min(2.0, concurrent / budget)
+                    cloud_utils[window] = utilization
+                # Always >= the 0.5 Mbps floor, so the scalar loop's
+                # max(0.05, share) clamp is a no-op here.
+                sender_share = max(CLOUD_FLOW_SHARE_FLOOR_MBPS,
+                                   CLOUD_FLOW_HEADROOM * game.stream_rate_mbps)
+                encode_ms = encode_cloud_ms
+                target = int(nearest_dc[player])
+
+            if session.kind is ConnectionKind.CDN:
+                server_latency = CDN_COORDINATION_MS
+            else:
+                server_latency = server_cache.get(player, default_hop_ms)
+            meta.append((player, session, game, target, server_latency))
+            budgets.append(game.latency_requirement_ms)
+            path_lat.append(session.downstream_one_way_ms)
+            senders.append(sender_share)
+            receivers.append(float(download[player]))
+            processing.append(encode_ms)
+            utils.append(utilization)
+        arrays = tuple(np.asarray(a, dtype=np.float64) for a in (
+            budgets, path_lat, senders, receivers, processing, utils))
+        return meta, arrays
+
+    def _score_sessions_inner(self, day, sessions, loads, cloud_rate,
+                              rng) -> list[SessionRecord]:
+        """Batch scorer: one vectorised QoS evaluation for the day.
+
+        Bit-identical to :meth:`_score_sessions_scalar` for the same
+        RNG stream (pinned by tests): parameters are gathered with the
+        scalar loop's own arithmetic and the batched estimate draws the
+        identical random sequence.
+        """
+        if not sessions:
+            return []
+        meta, (budgets, path_lat, senders, receivers, processing, utils) = \
+            self._gather_session_params(sessions, loads, cloud_rate)
+        outcome = estimate_continuity_batch(
+            budgets, path_lat, senders, receivers,
+            np.zeros_like(budgets), processing, utils, rng,
+            duration_s=self._QOS_DURATION_S,
+            adaptive=self.config.strategies.rate_adaptation,
+            transport=self.transport, n_samples=self._QOS_SAMPLES)
+        # Element-wise float64 addition in the scalar loop's operand
+        # order, then one exact tolist() per column — identical bits to
+        # per-record Python-float arithmetic without 3 numpy scalar
+        # extractions per session.
+        upstreams = np.array([m[1].upstream_one_way_ms for m in meta])
+        server_lats = np.array([m[4] for m in meta])
+        responses = (upstreams + outcome.mean_response_latency_ms
+                     + server_lats + PLAYOUT_PROCESSING_MS).tolist()
+        continuity = outcome.continuity.tolist()
+        satisfied = outcome.satisfied.tolist()
+        records = []
+        for i, (player, session, game, target, server_latency) in \
+                enumerate(meta):
+            records.append(SessionRecord(
+                player=player, day=day, game=game.name, kind=session.kind,
+                target=target,
+                response_latency_ms=responses[i],
+                server_latency_ms=server_latency,
+                continuity=continuity[i],
+                satisfied=satisfied[i],
+                join_latency_ms=session.join_latency_ms,
+            ))
+        return records
+
+    def _score_sessions_scalar(self, day, sessions, loads, cloud_rate,
+                               rng) -> list[SessionRecord]:
+        """Scalar reference scorer: one estimate call per session.
+
+        Kept verbatim from the pre-batch implementation (adapted only
+        to read the dense :class:`SweepLoads` rows instead of the old
+        per-supernode dicts — same accumulated values).  It is the
+        ground truth the batch path is pinned against and the baseline
+        of the scoring benchmark, so it deliberately shares none of the
+        batch path's memoisation.
+        """
         records = []
         hours = self.config.schedule.hours_per_day
         budget = self._cloud_egress_budget()
@@ -710,8 +924,9 @@ class CloudFogSystem:
 
             if session.supernode_id is not None:
                 sn = self.supernode_pool[session.supernode_id]
-                counts = count_loads[session.supernode_id][start:end + 1]
-                rates = rate_loads[session.supernode_id][start:end + 1]
+                row = loads.row(session.supernode_id)
+                counts = loads.counts[row, start:end + 1]
+                rates = loads.rates[row, start:end + 1]
                 mean_count = max(1.0, float(counts.mean()))
                 mean_rate = float(rates.mean())
                 effective_upload = sn.upload_mbps * sn.throttle
@@ -746,11 +961,11 @@ class CloudFogSystem:
                 upstream_one_way_ms=0.0,
                 processing_ms=encode_ms,
                 sender_utilization=utilization,
-                duration_s=60.0,
+                duration_s=self._QOS_DURATION_S,
                 adaptive=self.config.strategies.rate_adaptation,
             )
             outcome = estimate_continuity(session_config, rng, self.transport,
-                                          n_samples=64)
+                                          n_samples=self._QOS_SAMPLES)
             response = (session.upstream_one_way_ms
                         + outcome.mean_response_latency_ms
                         + server_latency + PLAYOUT_PROCESSING_MS)
@@ -854,9 +1069,11 @@ class CloudFogSystem:
         picks = rng.choice(len(self.live_supernodes), size=count,
                            replace=False)
         failed = [self.live_supernodes[int(i)] for i in picks]
+        failed_ids = {sn.supernode_id for sn in failed}
         latencies: list[float] = []
         self.live_supernodes = [sn for sn in self.live_supernodes
-                                if sn not in failed]
+                                if sn.supernode_id not in failed_ids]
+        self._live_ids -= failed_ids
         orphan_sets = [(sn, sn.fail()) for sn in failed]
         self.directory.rebuild(self.live_supernodes)
         for sn, _ in orphan_sets:
@@ -914,7 +1131,7 @@ class CloudFogSystem:
 
     # -- bandwidth accounting --------------------------------------------
     def _cloud_bandwidth(self, cloud_rate: np.ndarray,
-                         count_loads: dict[int, np.ndarray]) -> float:
+                         loads: SweepLoads) -> float:
         """Mean cloud egress over the day's subcycles (Mbit/s).
 
         CloudFog: Λ per supernode serving at least one player at that
@@ -924,12 +1141,13 @@ class CloudFogSystem:
         """
         hours = self.config.schedule.hours_per_day
         update_mbps = UPDATE_MESSAGE_BITS_PER_SUPERNODE / 1e6
+        # Per-subcycle count of serving supernodes in one pass over the
+        # dense load matrix (was a dict scan per subcycle).
+        serving = (loads.counts > 0).sum(axis=0)
         per_subcycle = []
         for subcycle in range(1, hours + 1):
             bandwidth = float(cloud_rate[subcycle])
             if self.config.mode == "cloudfog":
-                serving = sum(1 for loads in count_loads.values()
-                              if loads[subcycle] > 0)
-                bandwidth += update_mbps * serving
+                bandwidth += update_mbps * int(serving[subcycle])
             per_subcycle.append(bandwidth)
         return float(np.mean(per_subcycle))

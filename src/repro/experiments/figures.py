@@ -23,7 +23,8 @@ from .coverage import (
     coverage_by_datacenters,
     coverage_by_supernode_hosts,
 )
-from .runner import VARIANTS, build_system, run_config, run_variant
+from .parallel import VariantTask, run_variants
+from .runner import VARIANTS, build_system, run_config
 from .testbeds import Testbed, peersim, planetlab
 
 __all__ = [
@@ -119,8 +120,9 @@ def fig5b_coverage_vs_supernodes_planetlab(counts=(5, 10, 20, 40, 80, 150),
 # Figs. 6-8: system comparison sweeps over the player count
 # ---------------------------------------------------------------------------
 def _comparison_results(player_counts, testbed: Testbed, seed: int,
-                        days: int) -> dict[tuple[int, str], RunResult]:
-    results: dict[tuple[int, str], RunResult] = {}
+                        days: int, jobs: int | None = None
+                        ) -> dict[tuple[int, str], RunResult]:
+    tasks = []
     for players in player_counts:
         scaled = Testbed(
             name=testbed.name,
@@ -131,15 +133,17 @@ def _comparison_results(player_counts, testbed: Testbed, seed: int,
             jitter_fraction=testbed.jitter_fraction,
         )
         for variant in VARIANTS:
-            results[(players, variant)] = run_variant(
-                variant, scaled, seed=seed, days=days)
-    return results
+            tasks.append(VariantTask(variant=variant, testbed=scaled,
+                                     seed=seed, days=days))
+    outcomes = run_variants(tasks, jobs=jobs)
+    return {(task.testbed.num_players, task.variant): outcome
+            for task, outcome in zip(tasks, outcomes)}
 
 
 def _comparison_table(title, column, metric, player_counts, testbed, seed,
-                      days) -> ResultTable:
+                      days, jobs: int | None = None) -> ResultTable:
     testbed = testbed or peersim()
-    results = _comparison_results(player_counts, testbed, seed, days)
+    results = _comparison_results(player_counts, testbed, seed, days, jobs)
     table = ResultTable(title=f"{title} ({testbed.name})",
                         columns=["players", *VARIANTS])
     for players in player_counts:
@@ -150,57 +154,63 @@ def _comparison_table(title, column, metric, player_counts, testbed, seed,
 
 
 def fig6_bandwidth(player_counts=(400, 800, 1600), testbed=None,
-                   seed: int = 0, days: int = 3) -> ResultTable:
+                   seed: int = 0, days: int = 3,
+                   jobs: int | None = None) -> ResultTable:
     """Fig. 6: cloud bandwidth consumption vs player count."""
     return _comparison_table(
         "Fig 6: server bandwidth consumption", "Mbit/s",
         lambda r: r.mean_cloud_bandwidth_mbps,
-        player_counts, testbed, seed, days)
+        player_counts, testbed, seed, days, jobs)
 
 
 def fig7_response_latency(player_counts=(400, 800, 1600), testbed=None,
-                          seed: int = 0, days: int = 3) -> ResultTable:
+                          seed: int = 0, days: int = 3,
+                          jobs: int | None = None) -> ResultTable:
     """Fig. 7: average response latency vs player count."""
     return _comparison_table(
         "Fig 7: average response latency", "ms",
         lambda r: r.mean_response_latency_ms,
-        player_counts, testbed, seed, days)
+        player_counts, testbed, seed, days, jobs)
 
 
 def fig8_continuity(player_counts=(400, 800, 1600), testbed=None,
-                    seed: int = 0, days: int = 3) -> ResultTable:
+                    seed: int = 0, days: int = 3,
+                    jobs: int | None = None) -> ResultTable:
     """Fig. 8: playback continuity vs player count."""
     return _comparison_table(
         "Fig 8: playback continuity", "fraction of packets on time",
         lambda r: r.mean_continuity,
-        player_counts, testbed, seed, days)
+        player_counts, testbed, seed, days, jobs)
 
 
 def fig6b_bandwidth_planetlab(player_counts=(250, 500, 750), seed: int = 0,
-                              days: int = 3) -> ResultTable:
+                              days: int = 3,
+                              jobs: int | None = None) -> ResultTable:
     """Fig. 6(b): cloud bandwidth on the PlanetLab preset."""
     return _comparison_table(
         "Fig 6b: server bandwidth consumption", "Mbit/s",
         lambda r: r.mean_cloud_bandwidth_mbps,
-        player_counts, planetlab(), seed, days)
+        player_counts, planetlab(), seed, days, jobs)
 
 
 def fig7b_latency_planetlab(player_counts=(250, 500, 750), seed: int = 0,
-                            days: int = 3) -> ResultTable:
+                            days: int = 3,
+                            jobs: int | None = None) -> ResultTable:
     """Fig. 7(b): response latency on the PlanetLab preset."""
     return _comparison_table(
         "Fig 7b: average response latency", "ms",
         lambda r: r.mean_response_latency_ms,
-        player_counts, planetlab(), seed, days)
+        player_counts, planetlab(), seed, days, jobs)
 
 
 def fig8b_continuity_planetlab(player_counts=(250, 500, 750), seed: int = 0,
-                               days: int = 3) -> ResultTable:
+                               days: int = 3,
+                               jobs: int | None = None) -> ResultTable:
     """Fig. 8(b): playback continuity on the PlanetLab preset."""
     return _comparison_table(
         "Fig 8b: playback continuity", "fraction of packets on time",
         lambda r: r.mean_continuity,
-        player_counts, planetlab(), seed, days)
+        player_counts, planetlab(), seed, days, jobs)
 
 
 # ---------------------------------------------------------------------------

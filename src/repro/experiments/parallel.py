@@ -1,0 +1,98 @@
+"""Parallel sweep execution across processes.
+
+The comparison figures (6-8 and the PlanetLab companions) run
+``len(player_counts) x len(VARIANTS)`` independent system simulations;
+the seed-sweep utilities run one simulation per seed.  Every run is
+fully determined by its :class:`VariantTask` (named per-day RNG streams
+derive from the config seed), so the runs can execute in any order and
+on any process without changing a single bit of the results — the
+parallel path is pinned against the sequential one by tests.
+
+Two deliberate choices:
+
+* **Per-worker obs isolation.**  On Linux the pool forks, so workers
+  inherit the parent's *enabled* observability runtime.  Worker-side
+  spans and metrics would be both lost (they live in the worker's
+  memory) and paid for, so each task starts by calling
+  :func:`repro.obs.disable` in the worker; the parent keeps the
+  sweep-level spans.
+* **Ordered merge.**  Futures are collected as submitted and results
+  are returned in task order, never completion order, keeping callers
+  (table builders indexing by ``(players, variant)``) deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from .. import obs
+from ..core.system import RunResult
+from .runner import run_variant
+from .testbeds import Testbed
+
+__all__ = ["VariantTask", "resolve_jobs", "run_variants", "run_seeds"]
+
+
+@dataclass(frozen=True)
+class VariantTask:
+    """One independent simulation: a variant on a testbed with a seed."""
+
+    variant: str
+    testbed: Testbed
+    seed: int = 0
+    days: int = 3
+    overrides: dict = field(default_factory=dict)
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value: None/1 sequential, 0 = all cores."""
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _run_variant_task(task: VariantTask) -> RunResult:
+    """Worker entry point: run one task with observability silenced."""
+    obs.disable()
+    return run_variant(task.variant, task.testbed, seed=task.seed,
+                       days=task.days, **task.overrides)
+
+
+def run_variants(tasks, jobs: int | None = None) -> list[RunResult]:
+    """Run every task and return results in task order.
+
+    ``jobs`` <= 1 runs sequentially in-process (observability stays
+    live); ``jobs`` > 1 fans the tasks out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+    identical either way — each task's randomness is self-contained.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    workers = min(jobs, len(tasks)) if tasks else 0
+    registry = obs.get_registry()
+    with obs.get_tracer().span("run_variants", tasks=len(tasks),
+                               jobs=jobs, workers=max(1, workers)):
+        registry.counter("repro_sweep_tasks_total").inc(len(tasks))
+        if workers <= 1:
+            return [run_variant(task.variant, task.testbed, seed=task.seed,
+                                days=task.days, **task.overrides)
+                    for task in tasks]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(_run_variant_task, task)
+                       for task in tasks]
+            return [future.result() for future in futures]
+
+
+def run_seeds(variant: str, testbed: Testbed, seeds, days: int = 3,
+              jobs: int | None = None, **overrides) -> list[RunResult]:
+    """Run one variant across seeds; results in seed order."""
+    tasks = [VariantTask(variant=variant, testbed=testbed, seed=int(seed),
+                         days=days, overrides=dict(overrides))
+             for seed in seeds]
+    return run_variants(tasks, jobs=jobs)

@@ -63,6 +63,30 @@ class TransportModel:
         if not 0 <= self.base_loss_rate < 1:
             raise ValueError("base_loss_rate must lie in [0, 1)")
 
+    def congestion_factors(self, utilization: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`congestion_factor` over an array.
+
+        Element-for-element the arithmetic matches the scalar method
+        (same operations in the same order), so batch session scoring
+        stays bit-identical to the scalar loop.
+        """
+        u = np.asarray(utilization, dtype=np.float64)
+        if np.any(u < 0):
+            raise ValueError("utilization must be non-negative")
+        saturated = u >= 1.0
+        safe = np.where(saturated, 0.0, u)
+        factor = 1.0 + safe / (2.0 * (1.0 - safe))
+        return np.where(saturated, self.max_congestion_factor,
+                        np.minimum(factor, self.max_congestion_factor))
+
+    def loss_rates(self, utilization: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`loss_rate` over an array."""
+        u = np.asarray(utilization, dtype=np.float64)
+        if np.any(u < 0):
+            raise ValueError("utilization must be non-negative")
+        overload = np.maximum(0.0, u - 0.85)
+        return np.minimum(0.5, self.base_loss_rate + overload * 0.8)
+
     def congestion_factor(self, utilization: float) -> float:
         """Service-time inflation for a sender at ``utilization``.
 

@@ -14,11 +14,15 @@ from .multiplex import MultiplexConfig, PlayerOutcome, simulate_supernode
 from .qoe import MosBreakdown, QoeModel
 from .segments import DEFAULT_SEGMENT_SECONDS, Segment
 from .session import (
+    BatchSessionOutcome,
     SessionConfig,
     SessionResult,
     estimate_continuity,
+    estimate_continuity_batch,
+    initial_levels_batch,
     simulate_session,
     stationary_level,
+    stationary_levels_batch,
 )
 from .video import (
     FRAME_RATE_FPS,
@@ -49,11 +53,15 @@ __all__ = [
     "QoeModel",
     "DEFAULT_SEGMENT_SECONDS",
     "Segment",
+    "BatchSessionOutcome",
     "SessionConfig",
     "SessionResult",
     "estimate_continuity",
+    "estimate_continuity_batch",
+    "initial_levels_batch",
     "simulate_session",
     "stationary_level",
+    "stationary_levels_batch",
     "FRAME_RATE_FPS",
     "QUALITY_LADDER",
     "QualityLevel",

@@ -27,12 +27,26 @@ from ..network.transport import PathSpec, TransportModel
 from ..sim.engine import Environment
 from .adaptation import RateController
 from .buffer import BufferEstimator, PlaybackBuffer
-from .continuity import ContinuityStats
+from .continuity import SATISFIED_CONTINUITY_THRESHOLD, ContinuityStats
 from .segments import DEFAULT_SEGMENT_SECONDS, Segment
-from .video import get_level, level_for_latency_requirement
+from .video import (
+    FRAME_RATE_FPS,
+    QUALITY_LADDER,
+    get_level,
+    level_for_latency_requirement,
+)
 
 __all__ = ["SessionConfig", "SessionResult", "simulate_session",
-           "estimate_continuity"]
+           "estimate_continuity", "BatchSessionOutcome",
+           "estimate_continuity_batch", "initial_levels_batch",
+           "stationary_levels_batch"]
+
+#: Per-level lookup tables (index = level - 1), used by the batch path.
+_LADDER_BITRATE_BPS = np.array([q.bitrate_bps for q in QUALITY_LADDER])
+_LADDER_BITRATE_KBPS = np.array([float(q.bitrate_kbps)
+                                 for q in QUALITY_LADDER])
+_LADDER_REQUIREMENTS_MS = np.array([q.latency_requirement_ms
+                                    for q in QUALITY_LADDER])
 
 
 @dataclass(frozen=True)
@@ -311,4 +325,211 @@ def estimate_continuity(config: SessionConfig,
         final_level=level,
         mean_bitrate_kbps=float(quality.bitrate_kbps),
         adjustments=abs(config.initial_level() - level),
+    )
+
+
+# ---------------------------------------------------------------------------
+# batch (vectorised) estimation — the macro-experiment hot path
+# ---------------------------------------------------------------------------
+def initial_levels_batch(response_budget_ms) -> np.ndarray:
+    """Vectorised :func:`level_for_latency_requirement` over budgets.
+
+    Returns the 1-based initial quality level for each budget: the
+    highest rung whose latency requirement fits, or level 1 when even
+    the lowest rung exceeds the budget.
+    """
+    budgets = np.asarray(response_budget_ms, dtype=np.float64)
+    if np.any(budgets <= 0):
+        raise ValueError("response budgets must be positive")
+    levels = np.searchsorted(_LADDER_REQUIREMENTS_MS, budgets, side="right")
+    return np.maximum(levels, 1).astype(np.int64)
+
+
+def stationary_levels_batch(initial_levels, sender_share_mbps,
+                            receiver_download_mbps, sender_utilization,
+                            adaptive=True,
+                            transport: TransportModel | None = None
+                            ) -> np.ndarray:
+    """Vectorised :func:`stationary_level` over per-session arrays.
+
+    Replays the scalar adapt-down loop level by level (the ladder is
+    tiny) with element-wise identical arithmetic, so the returned
+    levels match the scalar function exactly.
+    """
+    transport = transport or TransportModel()
+    levels = np.array(initial_levels, dtype=np.int64, copy=True)
+    sender = np.asarray(sender_share_mbps, dtype=np.float64)
+    receiver = np.asarray(receiver_download_mbps, dtype=np.float64)
+    adaptive = np.broadcast_to(np.asarray(adaptive, dtype=bool), levels.shape)
+    throughput = np.minimum(sender, receiver)
+    sustainable = throughput / transport.congestion_factors(
+        sender_utilization)
+    threshold = 0.9 * sustainable
+    for _ in range(len(QUALITY_LADDER) - 1):
+        bitrate_mbps = _LADDER_BITRATE_BPS[levels - 1] / 1e6
+        down = adaptive & (levels > 1) & ~(bitrate_mbps <= threshold)
+        if not down.any():
+            break
+        levels = np.where(down, levels - 1, levels)
+    return levels
+
+
+@dataclass(frozen=True)
+class BatchSessionOutcome:
+    """Vectorised session outcomes: one array slot per session.
+
+    Field semantics match :class:`SessionResult` /
+    :class:`~repro.streaming.continuity.ContinuityStats`; use
+    :meth:`result` to materialise one session as a scalar
+    :class:`SessionResult` (bit-identical to the scalar path).
+    """
+
+    final_levels: np.ndarray          # (n,) int64
+    packets_total: np.ndarray         # (n,) int64
+    packets_on_time: np.ndarray       # (n,) int64
+    stall_events: np.ndarray          # (n,) int64
+    total_stall_s: np.ndarray         # (n,) float64
+    mean_response_latency_ms: np.ndarray
+    mean_bitrate_kbps: np.ndarray
+    adjustments: np.ndarray           # (n,) int64
+
+    def __len__(self) -> int:
+        return int(self.final_levels.shape[0])
+
+    @property
+    def continuity(self) -> np.ndarray:
+        """Per-session continuity (on-time share of total packets)."""
+        return self.packets_on_time / self.packets_total
+
+    @property
+    def satisfied(self) -> np.ndarray:
+        """The paper's satisfied-player predicate, per session."""
+        return self.continuity >= SATISFIED_CONTINUITY_THRESHOLD
+
+    def result(self, index: int) -> SessionResult:
+        """Materialise session ``index`` as a scalar SessionResult."""
+        stats = ContinuityStats(
+            packets_total=int(self.packets_total[index]),
+            packets_on_time=int(self.packets_on_time[index]),
+            stall_events=int(self.stall_events[index]),
+            total_stall_s=float(self.total_stall_s[index]),
+        )
+        return SessionResult(
+            stats=stats,
+            mean_response_latency_ms=float(
+                self.mean_response_latency_ms[index]),
+            final_level=int(self.final_levels[index]),
+            mean_bitrate_kbps=float(self.mean_bitrate_kbps[index]),
+            adjustments=int(self.adjustments[index]),
+        )
+
+
+def estimate_continuity_batch(
+    response_budget_ms,
+    path_latency_ms,
+    sender_share_mbps,
+    receiver_download_mbps,
+    upstream_one_way_ms,
+    processing_ms,
+    sender_utilization,
+    rng: np.random.Generator,
+    *,
+    duration_s=60.0,
+    segment_s=DEFAULT_SEGMENT_SECONDS,
+    adaptive=True,
+    levels=None,
+    transport: TransportModel | None = None,
+    n_samples: int = 128,
+) -> BatchSessionOutcome:
+    """Vectorised :func:`estimate_continuity` over arrays of sessions.
+
+    All parameters broadcast against each other to one session axis;
+    ``levels`` optionally supplies precomputed stationary levels
+    (otherwise :func:`stationary_levels_batch` derives them).
+
+    RNG-ordering contract (pinned by tests): the scalar loop draws, per
+    session, one jitter block (``uniform(1-j, 1+j, n_samples)``) then
+    one loss block (``random(n_samples)``).  Both map the *same*
+    underlying uniform doubles (``uniform(lo, hi)`` is exactly
+    ``lo + (hi - lo) * random()`` draw for draw), so the batch path
+    draws one ``(n, 2 * n_samples)`` block — the identical stream — and
+    splits it per session.  With jitter disabled the scalar loop draws
+    only the loss block, and so does the batch.  Every arithmetic step
+    is element-wise identical to the scalar function, which keeps
+    results bit-identical for the same seed.
+    """
+    transport = transport or TransportModel()
+    if n_samples <= 0:
+        raise ValueError("n_samples must be positive")
+    budgets, path_latency, sender, receiver, upstream, processing, util, \
+        duration, segment = np.broadcast_arrays(
+            *(np.asarray(a, dtype=np.float64) for a in (
+                response_budget_ms, path_latency_ms, sender_share_mbps,
+                receiver_download_mbps, upstream_one_way_ms, processing_ms,
+                sender_utilization, duration_s, segment_s)))
+    budgets = np.atleast_1d(budgets)
+    path_latency = np.atleast_1d(path_latency)
+    sender = np.atleast_1d(sender)
+    receiver = np.atleast_1d(receiver)
+    upstream = np.atleast_1d(upstream)
+    processing = np.atleast_1d(processing)
+    util = np.atleast_1d(util)
+    duration = np.atleast_1d(duration)
+    segment = np.atleast_1d(segment)
+    n = budgets.shape[0]
+    if np.any(budgets <= 0):
+        raise ValueError("response budgets must be positive")
+    if np.any(duration <= 0) or np.any(segment <= 0):
+        raise ValueError("durations must be positive")
+    if np.any(upstream < 0) or np.any(processing < 0):
+        raise ValueError("latencies must be non-negative")
+    if np.any(sender <= 0) or np.any(receiver <= 0):
+        raise ValueError("path bandwidths must be positive")
+
+    initial = initial_levels_batch(budgets)
+    if levels is None:
+        levels = stationary_levels_batch(initial, sender, receiver, util,
+                                         adaptive, transport)
+    else:
+        levels = np.broadcast_to(
+            np.asarray(levels, dtype=np.int64), (n,)).copy()
+
+    bitrate_bps = _LADDER_BITRATE_BPS[levels - 1]
+    packets_per_segment = np.maximum(
+        1, np.rint(segment * FRAME_RATE_FPS).astype(np.int64))
+    packet_size_bits = bitrate_bps * segment / packets_per_segment
+
+    mbps = np.minimum(sender, receiver)
+    base_ms = packet_size_bits / (mbps * 1000.0)
+    service_ms = base_ms * transport.congestion_factors(util)
+    deliverable = np.minimum(1.0, mbps / (bitrate_bps / 1e6))
+
+    base_delay = path_latency + service_ms
+    if transport.jitter_fraction > 0:
+        low = 1.0 - transport.jitter_fraction
+        span = (1.0 + transport.jitter_fraction) - low
+        block = rng.random((n, 2 * n_samples))
+        delays = base_delay[:, None] * (low + span * block[:, :n_samples])
+        loss_uniforms = block[:, n_samples:]
+    else:
+        delays = np.broadcast_to(base_delay[:, None], (n, n_samples))
+        loss_uniforms = rng.random((n, n_samples))
+    lost = loss_uniforms < transport.loss_rates(util)[:, None]
+    responses = upstream[:, None] + delays + processing[:, None]
+    on_time_share = ((responses <= budgets[:, None]) & ~lost).mean(axis=1)
+    continuity = deliverable * on_time_share
+
+    total_packets = (np.rint(duration / segment).astype(np.int64)
+                     * packets_per_segment)
+    packets_total = np.maximum(total_packets, 1)
+    packets_on_time = np.rint(continuity * packets_total).astype(np.int64)
+    return BatchSessionOutcome(
+        final_levels=levels,
+        packets_total=packets_total,
+        packets_on_time=packets_on_time,
+        stall_events=np.where(continuity > 0.9, 0, 1).astype(np.int64),
+        total_stall_s=np.maximum(0.0, (1.0 - deliverable) * duration),
+        mean_response_latency_ms=responses.mean(axis=1),
+        mean_bitrate_kbps=_LADDER_BITRATE_KBPS[levels - 1],
+        adjustments=np.abs(initial - levels),
     )

@@ -165,3 +165,71 @@ def test_directory_rebuild_replaces_set(topology):
     directory.rebuild(supernodes[:1])
     assert len(directory) == 1
     assert [sn.supernode_id for sn in directory.candidates_for(0, 5)] == [0]
+
+
+@pytest.fixture()
+def big_topology():
+    return build_topology(np.random.default_rng(3), num_players=200,
+                          num_datacenters=3)
+
+
+def brute_force_nearest(directory, player, count):
+    """Reference lookup: distance-sort every available supernode."""
+    available = [(float(np.hypot(
+        sn.x_km - directory.topology.player_coords[player, 0],
+        sn.y_km - directory.topology.player_coords[player, 1])), i)
+        for i, sn in enumerate(directory.supernodes) if sn.has_capacity]
+    available.sort()
+    return [directory.supernodes[i].supernode_id
+            for _, i in available[:count]]
+
+
+def test_grid_lookup_matches_brute_force(big_topology):
+    """The spatial grid returns exactly the k nearest available nodes."""
+    supernodes = make_supernodes(big_topology, hosts=list(range(0, 120, 2)))
+    directory = SupernodeDirectory(big_topology, supernodes)
+    for player in range(0, 200, 7):
+        for count in (1, 4, 8, 61):
+            got = [sn.supernode_id
+                   for sn in directory.candidates_for(player, count)]
+            assert got == brute_force_nearest(directory, player, count)
+
+
+def test_grid_lookup_respects_incremental_capacity(big_topology):
+    """Filling nodes between lookups changes results without a rebuild."""
+    supernodes = make_supernodes(big_topology, hosts=list(range(0, 40, 2)),
+                                 capacity=1)
+    directory = SupernodeDirectory(big_topology, supernodes)
+    first = directory.candidates_for(0, 3)
+    for sn in first:
+        sn.connect(900 + sn.supernode_id)  # fill the closest three
+    second = directory.candidates_for(0, 3)
+    assert not set(sn.supernode_id for sn in first) & \
+        set(sn.supernode_id for sn in second)
+    assert [sn.supernode_id for sn in second] == \
+        brute_force_nearest(directory, 0, 3)
+
+
+def test_rebuild_after_failure_matches_fresh_construction(big_topology):
+    """Regression: rebuild() must leave no stale index state behind."""
+    supernodes = make_supernodes(big_topology, hosts=list(range(0, 90, 3)))
+    directory = SupernodeDirectory(big_topology, supernodes)
+    survivors = [sn for i, sn in enumerate(supernodes) if i % 4 != 0]
+    directory.rebuild(survivors)
+    fresh = SupernodeDirectory(big_topology, survivors)
+    assert len(directory) == len(fresh) == len(survivors)
+    for player in range(0, 200, 11):
+        assert [sn.supernode_id
+                for sn in directory.candidates_for(player, 6)] == \
+            [sn.supernode_id for sn in fresh.candidates_for(player, 6)]
+        assert directory.probe_delays_ms(
+            player, survivors[:5]).tolist() == \
+            fresh.probe_delays_ms(player, survivors[:5]).tolist()
+
+
+def test_grid_handles_single_cell_pool(topology):
+    """A tiny pool collapses to one grid cell; lookups still work."""
+    supernodes = make_supernodes(topology, hosts=[4])
+    directory = SupernodeDirectory(topology, supernodes)
+    assert [sn.supernode_id
+            for sn in directory.candidates_for(0, 8)] == [0]
