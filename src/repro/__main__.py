@@ -32,30 +32,33 @@ import sys
 from . import experiments, obs
 
 #: CLI name -> (experiments function, accepts seed, accepts players,
-#: accepts jobs).  Only the multi-run comparison sweeps parallelise.
+#: accepts jobs, accepts faults).  Only the multi-run comparison sweeps
+#: parallelise; only the chaos experiment takes a fault scenario.
 FIGURES = {
-    "fig4a": (experiments.fig4a_coverage_vs_datacenters, True, False, False),
-    "fig4b": (experiments.fig4b_coverage_vs_supernodes, True, False, False),
+    "fig4a": (experiments.fig4a_coverage_vs_datacenters, True, False, False, False),
+    "fig4b": (experiments.fig4b_coverage_vs_supernodes, True, False, False, False),
     "fig5a": (experiments.fig5a_coverage_vs_datacenters_planetlab,
-              True, False, False),
+              True, False, False, False),
     "fig5b": (experiments.fig5b_coverage_vs_supernodes_planetlab,
-              True, False, False),
-    "fig6": (experiments.fig6_bandwidth, True, True, True),
-    "fig6b": (experiments.fig6b_bandwidth_planetlab, True, True, True),
-    "fig7": (experiments.fig7_response_latency, True, True, True),
-    "fig7b": (experiments.fig7b_latency_planetlab, True, True, True),
-    "fig8": (experiments.fig8_continuity, True, True, True),
-    "fig8b": (experiments.fig8b_continuity_planetlab, True, True, True),
-    "fig9": (experiments.fig9_setup_latencies, True, True, False),
-    "fig9b": (experiments.fig9b_latencies_vs_supernodes, True, False, False),
-    "fig10": (experiments.fig10_reputation, True, False, False),
-    "fig11": (experiments.fig11_adaptation, True, False, False),
-    "fig12": (experiments.fig12_server_assignment, True, False, False),
-    "fig13": (experiments.fig13_provisioning_bandwidth, True, False, False),
-    "fig14": (experiments.fig14_provisioning_latency, True, False, False),
-    "fig15": (experiments.fig15_provisioning_continuity, True, False, False),
-    "fig16a": (experiments.fig16a_supernode_economics, False, False, False),
-    "fig16b": (experiments.fig16b_provider_savings, False, False, False),
+              True, False, False, False),
+    "fig6": (experiments.fig6_bandwidth, True, True, True, False),
+    "fig6b": (experiments.fig6b_bandwidth_planetlab, True, True, True, False),
+    "fig7": (experiments.fig7_response_latency, True, True, True, False),
+    "fig7b": (experiments.fig7b_latency_planetlab, True, True, True, False),
+    "fig8": (experiments.fig8_continuity, True, True, True, False),
+    "fig8b": (experiments.fig8b_continuity_planetlab, True, True, True, False),
+    "fig9": (experiments.fig9_setup_latencies, True, True, False, False),
+    "fig9b": (experiments.fig9b_latencies_vs_supernodes, True, False, False, False),
+    "fig10": (experiments.fig10_reputation, True, False, False, False),
+    "fig11": (experiments.fig11_adaptation, True, False, False, False),
+    "fig12": (experiments.fig12_server_assignment, True, False, False, False),
+    "fig13": (experiments.fig13_provisioning_bandwidth, True, False, False, False),
+    "fig14": (experiments.fig14_provisioning_latency, True, False, False, False),
+    "fig15": (experiments.fig15_provisioning_continuity, True, False, False, False),
+    "fig16a": (experiments.fig16a_supernode_economics, False, False, False, False),
+    "fig16b": (experiments.fig16b_provider_savings, False, False, False, False),
+    "chaos": (experiments.chaos_failure_sweep, True, False, False, False),
+    "chaos-run": (experiments.chaos_scenario, True, False, False, True),
 }
 
 
@@ -73,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for multi-run sweeps "
                              "(figures 6-8; 0 = all cores, default "
                              "sequential)")
+    parser.add_argument("--faults", metavar="SCENARIO", default=None,
+                        help="fault scenario JSON for the chaos-run "
+                             "experiment (see examples/chaos_scenario."
+                             "json)")
     parser.add_argument("--chart", action="store_true",
                         help="render ASCII bar charts instead of a table")
     group = parser.add_argument_group("observability")
@@ -94,7 +101,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.figure == "list":
-        for name, (func, _, _, _) in sorted(FIGURES.items()):
+        for name, (func, _, _, _, _) in sorted(FIGURES.items()):
             doc = (func.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<8} {doc}")
         return 0
@@ -102,7 +109,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown figure {args.figure!r}; try 'list'",
               file=sys.stderr)
         return 2
-    func, takes_seed, takes_players, takes_jobs = FIGURES[args.figure]
+    func, takes_seed, takes_players, takes_jobs, takes_faults = \
+        FIGURES[args.figure]
     kwargs = {}
     if takes_seed:
         kwargs["seed"] = args.seed
@@ -118,6 +126,12 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         kwargs["jobs"] = args.jobs
+    if args.faults is not None:
+        if not takes_faults:
+            print(f"{args.figure} does not take --faults",
+                  file=sys.stderr)
+            return 2
+        kwargs["faults"] = args.faults
     observing = bool(args.trace or args.metrics or args.profile
                      or args.log_level)
     if observing:

@@ -64,9 +64,21 @@ class CandidateManager:
 
     def forget_supernode(self, supernode_id: int) -> None:
         """Drop a (failed/undeployed) supernode from every list."""
+        self.forget_supernodes({supernode_id})
+
+    def forget_supernodes(self, supernode_ids: set[int]) -> None:
+        """Drop several supernodes from every list in one pass.
+
+        Mass failures (a whole wave of crashed supernodes) would
+        otherwise rescan every player's list once per dead node.
+        """
+        if not supernode_ids:
+            return
         for player, entries in self._lists.items():
-            self._lists[player] = [e for e in entries
-                                   if e.supernode_id != supernode_id]
+            kept = [e for e in entries
+                    if e.supernode_id not in supernode_ids]
+            if len(kept) != len(entries):
+                self._lists[player] = kept
 
     def candidates(self, player: int) -> list[CandidateEntry]:
         """The player's list, best (lowest delay) first."""

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..cloud.datacenter import DEFAULT_SERVERS_PER_DATACENTER
+from ..faults.plan import FaultPlan
 from ..sim.cycles import Schedule
 
 __all__ = ["StrategyFlags", "SystemConfig", "cloud_only", "cloud_compressed",
@@ -102,6 +103,13 @@ class SystemConfig:
     #: LiveRender-style compressed graphics streaming on the cloud's
     #: direct flows (§2 comparison): cuts egress, not the path.
     cloud_compression: bool = False
+
+    # -- faults (repro.faults) -------------------------------------------
+    #: Deterministic fault schedule injected during the subcycle sweep.
+    #: None (the default) keeps every output bit-identical to a system
+    #: built before the fault subsystem existed (pinned by
+    #: ``tests/faults/test_equivalence.py``).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.num_players <= 0:

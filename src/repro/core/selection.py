@@ -228,6 +228,7 @@ def select_supernode(
     candidate_count: int = 8,
     cloud_rtt_ms: float = 60.0,
     handshake_ms: float = 10.0,
+    exclude: set[int] | None = None,
 ) -> SelectionOutcome:
     """Run the full §3.2 selection for one player.
 
@@ -235,10 +236,17 @@ def select_supernode(
     qualified candidates; otherwise candidates are tried in descending
     Eq.-7 score order (ties keep the delay ordering, so cold-start
     players effectively prefer closer supernodes).
+
+    ``exclude`` drops specific supernode ids before probing — retry
+    rounds after a failed migration pass the nodes that just refused
+    or crashed, so a backoff retry cannot re-ask a known-bad node.
     """
     if l_max_ms <= 0:
         raise ValueError("l_max_ms must be positive")
     candidates = directory.candidates_for(player, candidate_count)
+    if exclude:
+        candidates = [sn for sn in candidates
+                      if sn.supernode_id not in exclude]
     delays = directory.probe_delays_ms(player, candidates)
 
     join_latency = cloud_rtt_ms

@@ -37,7 +37,7 @@ workloads — baseline comparisons are paired.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -45,14 +45,17 @@ from .. import obs
 from ..cloud.datacenter import Datacenter
 from ..cloud.gamestate import UPDATE_MESSAGE_BITS_PER_SUPERNODE
 from ..economics.ledger import CreditLedger
+from ..faults import FaultSummary, build_injector
+from ..faults.plan import FaultEvent
 from ..network.bandwidth import BandwidthModel
 from ..network.latency import PLAYOUT_PROCESSING_MS
 from ..network.transport import PathSpec, TransportModel
+from ..obs.metrics import DEFAULT_RECOVERY_BUCKETS_MS
 from ..reputation.ratings import RatingLedger
 from ..reputation.scores import ReputationTable
 from ..sim.rng import RngFactory
 from ..streaming.compression import LIVERENDER_LIKE
-from ..streaming.continuity import satisfied_ratio
+from ..streaming.continuity import is_satisfied, satisfied_ratio
 from ..streaming.session import (
     SessionConfig,
     estimate_continuity,
@@ -74,10 +77,13 @@ from .selection import SupernodeDirectory, delay_threshold_ms, select_supernode
 from .server_assignment import assign_players_randomly, assign_players_socially
 
 __all__ = ["SessionRecord", "DayMetrics", "RunResult", "SweepLoads",
-           "CloudFogSystem"]
+           "MigrationOutcome", "CloudFogSystem"]
 
-#: Failure-detection timeout before a migration starts (periodic probing
-#: of the supernode, §3.2.2); dominates the ~0.8 s migration latency.
+#: Legacy fixed failure-detection timeout (§3.2.2); dominates the
+#: ~0.8 s migration latency.  Kept as the documented expectation of the
+#: default heartbeat model: :class:`repro.faults.FailureDetector`'s
+#: ``expected_detection_ms`` equals this value, and
+#: ``detection_latency_ms`` draws the actual phase-dependent latency.
 FAILURE_DETECTION_MS = 500.0
 
 #: Cloud egress budget per datacenter for direct video streaming
@@ -150,6 +156,10 @@ class RunResult:
     supernode_join_latencies_ms: list[float] = field(default_factory=list)
     migration_latencies_ms: list[float] = field(default_factory=list)
     assignment_wall_times_s: list[float] = field(default_factory=list)
+    #: Fault accounting of the run (all zeros without a FaultPlan).
+    #: The conservation invariant ``displaced == recovered + degraded
+    #: + dropped`` holds at every instant of the run.
+    faults: FaultSummary = field(default_factory=FaultSummary)
     #: One-pass aggregate cache over ``days``; rebuilt when days grow.
     _aggregate_cache: dict | None = field(default=None, init=False,
                                           repr=False, compare=False)
@@ -275,6 +285,24 @@ class _Session:
     join_latency_ms: float | None
 
 
+@dataclass(frozen=True)
+class MigrationOutcome:
+    """Result of one displaced player's walk down the reconnect ladder.
+
+    ``attempts`` counts the §3.2 selection rounds consumed (0 when the
+    player's own candidate list served the reconnect); ``via`` names the
+    rung that ended the walk: ``"candidates"``, ``"selection"`` or
+    ``"cloud"`` (graceful degradation to direct streaming,
+    ``supernode_id`` None).  ``latency_ms`` excludes failure detection —
+    the caller adds the detector's latency on top.
+    """
+
+    latency_ms: float
+    supernode_id: int | None
+    attempts: int
+    via: str
+
+
 class CloudFogSystem:
     """One deployed gaming system (CloudFog, Cloud or CDN)."""
 
@@ -294,6 +322,23 @@ class CloudFogSystem:
         #: loop stays available behind this switch for the paired
         #: equivalence tests and the benchmark harness.
         self.use_batch_scoring = True
+
+        # Fault injection (repro.faults).  Without a FaultPlan this is
+        # the shared no-op injector: no RNG stream is created, no hook
+        # fires, and every output stays bit-identical to a system built
+        # before the subsystem existed (pinned by tests/faults).
+        self.faults = build_injector(config.fault_plan)
+        self.failure_detector = self.faults.detector
+        self.retry_policy = self.faults.retry
+        if (config.fault_plan is not None
+                and config.fault_plan.ambient_loss_boost > 0.0):
+            self.transport = self.transport.degraded(
+                config.fault_plan.ambient_loss_boost)
+        #: Accounting for out-of-band :meth:`fail_supernodes` calls
+        #: (in-run injection accounts into ``RunResult.faults`` instead).
+        self.fault_outcomes = FaultSummary()
+        self._current_day = 0
+        self._deployed_count = 0
 
         # LiveRender-style compression on direct cloud flows (§2).
         self.compression = (LIVERENDER_LIKE if config.cloud_compression
@@ -445,6 +490,7 @@ class CloudFogSystem:
         """Set the live supernode set and rebuild the cloud's table."""
         obs.get_registry().gauge("repro_live_supernodes").set(
             len(supernodes))
+        self._deployed_count = len(supernodes)
         live_ids = {sn.supernode_id for sn in supernodes}
         for sn in self.supernode_pool:
             sn.online = sn.supernode_id in live_ids
@@ -512,6 +558,7 @@ class CloudFogSystem:
         registry = obs.get_registry()
         day_span = tracer.span("run_day", day=day, measuring=measuring,
                                mode=config.mode)
+        self._current_day = day
         with day_span:
             # (1) Throttle re-roll (its own stream: no workload shift).
             throttle_rng = self.rng_factory.stream(f"throttle-{day}")
@@ -535,7 +582,8 @@ class CloudFogSystem:
             selection_rng = self.rng_factory.stream(f"selection-{day}")
             with tracer.span("sweep_day", day=day, plans=len(plans)):
                 sessions, loads, cloud_rate = \
-                    self._sweep_day(plans, selection_rng, result, measuring)
+                    self._sweep_day(plans, selection_rng, result, measuring,
+                                    day=day)
 
             # (4)+(5) Per-session QoS and ratings.
             qos_rng = self.rng_factory.stream(f"qos-{day}")
@@ -617,8 +665,17 @@ class CloudFogSystem:
                 plan.player, self.population.friends, self._games, rng)
 
     # -- the subcycle sweep ----------------------------------------------
-    def _sweep_day(self, plans, rng, result, measuring):
-        """Process joins/leaves hour by hour; build load timelines."""
+    def _sweep_day(self, plans, rng, result, measuring, day=0):
+        """Process joins/leaves hour by hour; build load timelines.
+
+        When a :class:`~repro.faults.FaultPlan` is configured, scheduled
+        faults fire between the subcycle's leaves and joins — sessions
+        already streaming experience the failure mid-day and walk the
+        §3.2.2 recovery ladder, while the subcycle's new joiners already
+        see the post-fault directory.  Fault handling draws only from a
+        dedicated ``faults-{day}`` stream, so a faulted run stays
+        pairable with its fault-free baseline.
+        """
         hours = self.config.schedule.hours_per_day
         starts: dict[int, list[PlayerDayPlan]] = {}
         for plan in plans:
@@ -630,11 +687,21 @@ class CloudFogSystem:
         counts, rates = loads.counts, loads.rates
         cloud_rate = np.zeros(hours + 2)
 
+        fault_rng = None
+        if self.faults.active:
+            self.faults.start_day(day)
+            if self.faults.has_events_on(day):
+                fault_rng = self.rng_factory.stream(f"faults-{day}")
+
         for subcycle in range(1, hours + 1):
             for player in ends.pop(subcycle, []):
                 session = sessions.get(player)
                 if session is not None and session.supernode_id is not None:
                     self.supernode_pool[session.supernode_id].disconnect(player)
+            if fault_rng is not None:
+                self._apply_faults(day, subcycle, sessions, loads,
+                                   cloud_rate, fault_rng, result, measuring,
+                                   hours)
             for plan in starts.pop(subcycle, []):
                 session = self._join(plan, rng)
                 sessions[plan.player] = session
@@ -766,10 +833,37 @@ class CloudFogSystem:
                                    sessions=len(sessions),
                                    batch=self.use_batch_scoring):
             if self.use_batch_scoring:
-                return self._score_sessions_inner(day, sessions, loads,
-                                                  cloud_rate, rng)
-            return self._score_sessions_scalar(day, sessions, loads,
-                                               cloud_rate, rng)
+                records = self._score_sessions_inner(day, sessions, loads,
+                                                     cloud_rate, rng)
+            else:
+                records = self._score_sessions_scalar(day, sessions, loads,
+                                                      cloud_rate, rng)
+            if self.faults.active and self.faults.penalties:
+                records = self._apply_fault_penalties(records)
+            return records
+
+    def _apply_fault_penalties(self,
+                               records: list[SessionRecord]
+                               ) -> list[SessionRecord]:
+        """Fold the day's fault penalties into the scored records.
+
+        Penalties accumulate per player during the sweep (stream
+        interruption while recovering, lost update messages) as a
+        continuity fraction lost; they apply *after* scoring so the
+        batch and scalar scorers stay bit-identical to each other and
+        the RNG consumption of the scoring path never shifts.
+        """
+        penalties = self.faults.penalties
+        out = []
+        for record in records:
+            fraction = penalties.get(record.player)
+            if not fraction:
+                out.append(record)
+                continue
+            continuity = max(0.0, record.continuity * (1.0 - fraction))
+            out.append(replace(record, continuity=continuity,
+                               satisfied=is_satisfied(continuity)))
+        return out
 
     def _gather_session_params(self, sessions, loads, cloud_rate):
         """Per-session scoring inputs as parallel arrays.
@@ -1053,13 +1147,48 @@ class CloudFogSystem:
                         "repro_provisioning_redeploys_total").inc()
 
     # -- failures / migration --------------------------------------------
-    def fail_supernodes(self, count: int, rng: np.random.Generator
-                        ) -> list[float]:
+    def _take_offline(self, failed: list[Supernode]
+                      ) -> list[tuple[Supernode, set[int]]]:
+        """Remove supernodes from service; return their orphaned players.
+
+        Shared by the out-of-band :meth:`fail_supernodes` entry point
+        and in-run crash injection: directory, ``_live_ids``, candidate
+        caches and the availability gauge all stay mutually consistent.
+        """
+        failed_ids = {sn.supernode_id for sn in failed}
+        orphan_sets = [(sn, sn.fail()) for sn in failed]
+        self.live_supernodes = [sn for sn in self.live_supernodes
+                                if sn.supernode_id not in failed_ids]
+        self._live_ids -= failed_ids
+        self.directory.rebuild(self.live_supernodes)
+        self.candidates.forget_supernodes(failed_ids)
+        registry = obs.get_registry()
+        registry.counter("repro_supernode_failures_total").inc(len(failed))
+        registry.gauge("repro_live_supernodes").set(
+            len(self.live_supernodes))
+        registry.gauge("repro_fog_availability_ratio").set(
+            self._fog_availability())
+        return orphan_sets
+
+    def _fog_availability(self) -> float:
+        """Live share of the last deployment (1.0 = no node down)."""
+        if not self._deployed_count:
+            return 0.0
+        return len(self.live_supernodes) / self._deployed_count
+
+    def fail_supernodes(self, count: int, rng: np.random.Generator,
+                        day: int | None = None) -> list[float]:
         """Fail ``count`` random live supernodes; reconnect their players.
 
-        Returns the migration latency of every displaced player: failure
-        detection + a fresh §3.2 selection.  No game state moves (the
-        cloud holds it), so migration stays sub-second.
+        Out-of-band fault entry point (tests and ad-hoc churn probes; a
+        :class:`~repro.faults.FaultPlan` injects mid-sweep instead).
+        Returns the end-to-end migration latency — failure detection
+        plus the reconnect ladder — of every player that re-attached to
+        a supernode.  Players with no qualified candidate are *not*
+        silently folded into that list: they degrade to direct cloud
+        streaming conceptually, but with no live session to re-home
+        here they are recorded as dropped and their sticky/game state
+        cleared.  All accounting lands in ``self.fault_outcomes``.
         """
         if count < 0:
             raise ValueError("count must be non-negative")
@@ -1069,44 +1198,76 @@ class CloudFogSystem:
         picks = rng.choice(len(self.live_supernodes), size=count,
                            replace=False)
         failed = [self.live_supernodes[int(i)] for i in picks]
-        failed_ids = {sn.supernode_id for sn in failed}
-        latencies: list[float] = []
-        self.live_supernodes = [sn for sn in self.live_supernodes
-                                if sn.supernode_id not in failed_ids]
-        self._live_ids -= failed_ids
-        orphan_sets = [(sn, sn.fail()) for sn in failed]
-        self.directory.rebuild(self.live_supernodes)
-        for sn, _ in orphan_sets:
-            self.candidates.forget_supernode(sn.supernode_id)
+        orphan_sets = self._take_offline(failed)
         registry = obs.get_registry()
-        registry.counter("repro_supernode_failures_total").inc(len(failed))
-        registry.gauge("repro_live_supernodes").set(
-            len(self.live_supernodes))
+        latencies: list[float] = []
+        summary = self.fault_outcomes
+        today = self._current_day if day is None else day
+        transient = (self.faults.plan.transient_refusal_prob
+                     if self.faults.active else 0.0)
+        # Out-of-band callers have no notion of heartbeat phase, so the
+        # detector contributes its expectation (500 ms at defaults).
+        detection = self.failure_detector.detection_latency_ms()
         for sn, orphans in orphan_sets:
-            for player in orphans:
+            for player in sorted(orphans):
                 self._sticky.pop(player, None)
+                self.reputation.penalize(player, sn.supernode_id,
+                                         today=today)
                 game = self._games.get(player) or random_game(rng)
                 l_max = delay_threshold_ms(game.latency_requirement_ms)
-                latency = (FAILURE_DETECTION_MS
-                           + self._migrate(player, l_max, rng))
-                latencies.append(latency)
+                summary.displaced += 1
                 registry.counter("repro_migrations_total").inc()
-                registry.histogram("repro_migration_latency_ms").observe(
-                    latency)
+                outcome = self._migrate(player, l_max, rng,
+                                        transient_refusal=transient)
+                retries = max(0, outcome.attempts - 1)
+                summary.retries += retries
+                if retries:
+                    registry.counter("repro_fault_retries_total").inc(retries)
+                if outcome.supernode_id is not None:
+                    latency = detection + outcome.latency_ms
+                    latencies.append(latency)
+                    summary.recovered += 1
+                    summary.time_to_recover_ms.append(latency)
+                    registry.histogram("repro_migration_latency_ms").observe(
+                        latency)
+                    registry.histogram(
+                        "repro_time_to_recover_ms",
+                        buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(latency)
+                else:
+                    summary.dropped += 1
+                    self._games.pop(player, None)
+                    registry.counter("repro_fault_dropped_total").inc()
         self._log.info("supernode failures handled", extra=obs.kv(
-            failed=len(failed), migrated=len(latencies)))
+            failed=len(failed), displaced=summary.displaced,
+            migrated=len(latencies)))
         return latencies
 
     def _migrate(self, player: int, l_max: float,
-                 rng: np.random.Generator) -> float:
-        """Reconnect a displaced player; return the reconnect latency.
+                 rng: np.random.Generator,
+                 transient_refusal: float = 0.0) -> MigrationOutcome:
+        """Walk a displaced player down the reconnect ladder.
 
         §3.2.2: the player first walks its own candidate list (probe +
-        handshake, no cloud round trip); only if every remembered
-        candidate is gone or full does it ask the cloud again.
+        handshake, no cloud round trip).  Only if every remembered
+        candidate is gone or full does it ask the cloud again — with
+        bounded, jittered exponential backoff between rounds and the
+        nodes that already refused excluded from re-selection.  When no
+        rung lands on a supernode the player degrades to direct cloud
+        streaming (``supernode_id`` None).
+
+        ``transient_refusal`` models churn turbulence: each selection
+        round's handshake independently times out with this probability
+        (never on the final attempt's success), forcing a backoff retry.
         """
         for entry in self.candidates.candidates(player):
             if entry.supernode_id >= len(self.supernode_pool):
+                # Stale id (the pool never shrinks today, but a cache
+                # loaded from elsewhere may disagree): invalidate it
+                # everywhere instead of silently re-probing forever.
+                self._log.debug("dropping stale candidate entry",
+                                extra=obs.kv(player=player,
+                                             supernode=entry.supernode_id))
+                self.candidates.forget_supernode(entry.supernode_id)
                 continue
             candidate = self.supernode_pool[entry.supernode_id]
             if (candidate.online and candidate.has_capacity
@@ -1114,20 +1275,238 @@ class CloudFogSystem:
                 candidate.connect(player)
                 self._sticky[player] = candidate.supernode_id
                 # Probe RTT + connect handshake, no cloud involvement.
-                return 2.0 * entry.delay_ms + 10.0 + entry.delay_ms
+                return MigrationOutcome(
+                    2.0 * entry.delay_ms + 10.0 + entry.delay_ms,
+                    candidate.supernode_id, 0, "candidates")
         upstream = self._cloud_one_way_ms(player)
-        outcome = select_supernode(
-            player, self.directory, l_max, rng,
-            reputation=(self.reputation
-                        if self.config.strategies.reputation_selection
-                        else None),
-            candidate_count=self.config.candidate_count,
-            cloud_rtt_ms=2.0 * upstream)
-        if outcome.qualified:
-            self.candidates.remember(player, list(outcome.qualified))
-        if outcome.supernode_id is not None:
-            self._sticky[player] = outcome.supernode_id
-        return outcome.join_latency_ms
+        reputation = (self.reputation
+                      if self.config.strategies.reputation_selection
+                      else None)
+        policy = self.retry_policy
+        latency = 0.0
+        refused: set[int] = set()
+        attempts = 0
+        for attempt in range(policy.max_attempts):
+            if attempt:
+                latency += policy.backoff_ms(attempt - 1, rng)
+            attempts = attempt + 1
+            outcome = select_supernode(
+                player, self.directory, l_max, rng,
+                reputation=reputation,
+                candidate_count=self.config.candidate_count,
+                cloud_rtt_ms=2.0 * upstream,
+                exclude=refused if refused else None)
+            latency += outcome.join_latency_ms
+            if outcome.qualified:
+                self.candidates.remember(player, list(outcome.qualified))
+            sid = outcome.supernode_id
+            if sid is not None:
+                if (transient_refusal > 0.0
+                        and attempt < policy.max_attempts - 1
+                        and rng.random() < transient_refusal):
+                    # Handshake timed out mid-churn: release the slot,
+                    # remember the refusal, back off and retry.
+                    self.supernode_pool[sid].disconnect(player)
+                    refused.add(sid)
+                    continue
+                self._sticky[player] = sid
+                return MigrationOutcome(latency, sid, attempts, "selection")
+            if not outcome.qualified:
+                # Nothing clears the delay filter; a retry would re-ask
+                # an unchanged table.  Degrade to the cloud.
+                break
+        return MigrationOutcome(latency, None, attempts, "cloud")
+
+    # -- in-run fault injection ------------------------------------------
+    def _session_window(self, session: _Session,
+                        hours: int) -> tuple[int, int]:
+        """The (start, end) subcycle span of a session, sweep semantics."""
+        start = min(session.plan.start_subcycle, hours)
+        end = min(hours,
+                  start + int(np.ceil(session.plan.duration_hours)) - 1)
+        return start, end
+
+    def _apply_faults(self, day, subcycle, sessions, loads, cloud_rate,
+                      frng, result, measuring, hours) -> None:
+        """Fire every fault scheduled for this (day, subcycle)."""
+        registry = obs.get_registry()
+        for event in self.faults.events_at(day, subcycle):
+            result.faults.events_applied += 1
+            registry.counter("repro_faults_injected_total",
+                             kind=event.kind).inc()
+            if event.kind == "crash":
+                self._inject_crash(event, day, subcycle, sessions, loads,
+                                   cloud_rate, frng, result, measuring,
+                                   hours)
+            elif event.kind == "flaky":
+                self._inject_flaky(event, frng)
+            elif event.kind == "degrade_link":
+                self._inject_link_degradation(event, subcycle, sessions,
+                                              hours)
+            elif event.kind == "lose_updates":
+                self._inject_update_loss(event, subcycle, sessions, hours,
+                                         registry)
+
+    def _fault_targets(self, event: FaultEvent,
+                       frng: np.random.Generator) -> list[Supernode]:
+        """Resolve a fault event to live supernode targets (may be [])."""
+        live = self.live_supernodes
+        if not live:
+            return []
+        if event.supernode_id is not None:
+            return [sn for sn in live
+                    if sn.supernode_id == event.supernode_id]
+        count = min(event.count, len(live))
+        picks = frng.choice(len(live), size=count, replace=False)
+        return [live[int(i)] for i in picks]
+
+    def _inject_crash(self, event, day, subcycle, sessions, loads,
+                      cloud_rate, frng, result, measuring, hours) -> None:
+        """Crash supernodes mid-day and walk their sessions to recovery.
+
+        Every displaced session is accounted exactly once per
+        displacement: recovered onto another supernode, degraded to
+        direct cloud streaming, or (when its bookkeeping is gone)
+        dropped — the conservation invariant the chaos tests assert.
+        Load matrices move with the session: the crashed row keeps the
+        already-served span and loses the remainder, which lands on the
+        new row or the cloud's rate line.
+        """
+        targets = self._fault_targets(event, frng)
+        if not targets:
+            return
+        orphan_sets = self._take_offline(targets)
+        registry = obs.get_registry()
+        detector = self.failure_detector
+        transient = self.faults.plan.transient_refusal_prob
+        counts, rates = loads.counts, loads.rates
+        summary = result.faults
+        for sn, orphans in orphan_sets:
+            for player in sorted(orphans):
+                self._sticky.pop(player, None)
+                self.reputation.penalize(player, sn.supernode_id, today=day)
+                summary.displaced += 1
+                registry.counter("repro_fault_displaced_total").inc()
+                session = sessions.get(player)
+                if session is None or session.supernode_id != sn.supernode_id:
+                    # No live session bookkeeping to re-home (connected
+                    # out of band): account it as dropped, not lost.
+                    summary.dropped += 1
+                    registry.counter("repro_fault_dropped_total").inc()
+                    continue
+                game = self._games[player]
+                start, end = self._session_window(session, hours)
+                span = slice(subcycle, end + 1)
+                row = loads.row(sn.supernode_id)
+                if row is not None:
+                    counts[row, span] -= 1
+                    rates[row, span] -= game.stream_rate_mbps
+                detection = detector.detection_latency_ms(frng)
+                l_max = delay_threshold_ms(game.latency_requirement_ms)
+                outcome = self._migrate(player, l_max, frng,
+                                        transient_refusal=transient)
+                retries = max(0, outcome.attempts - 1)
+                summary.retries += retries
+                if retries:
+                    registry.counter("repro_fault_retries_total").inc(retries)
+                ttr = detection + outcome.latency_ms
+                if outcome.supernode_id is not None:
+                    new_row = loads.row(outcome.supernode_id)
+                    if new_row is not None:
+                        counts[new_row, span] += 1
+                        rates[new_row, span] += game.stream_rate_mbps
+                    new_sn = self.supernode_pool[outcome.supernode_id]
+                    session.supernode_id = outcome.supernode_id
+                    session.downstream_one_way_ms = \
+                        self._player_supernode_ms(player, new_sn)
+                    summary.recovered += 1
+                    summary.time_to_recover_ms.append(ttr)
+                    if measuring:
+                        result.migration_latencies_ms.append(ttr)
+                    registry.counter("repro_fault_recovered_total").inc()
+                    registry.counter("repro_migrations_total").inc()
+                    registry.histogram("repro_migration_latency_ms").observe(
+                        ttr)
+                    registry.histogram(
+                        "repro_time_to_recover_ms",
+                        buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(ttr)
+                else:
+                    # Graceful degradation: the cloud streams directly
+                    # for the rest of the session.
+                    session.kind = ConnectionKind.CLOUD
+                    session.supernode_id = None
+                    session.downstream_one_way_ms = \
+                        session.upstream_one_way_ms
+                    rate = game.stream_rate_mbps
+                    if self.compression is not None:
+                        rate = self.compression.compressed_mbps(rate)
+                    cloud_rate[span] += rate
+                    summary.degraded += 1
+                    registry.counter("repro_fault_degraded_total").inc()
+                # The stream stalled for detection + reconnect: charge
+                # the gap against the session's remaining play time.
+                remaining_ms = max(1.0,
+                                   (end - subcycle + 1) * 3_600_000.0)
+                self.faults.add_penalty(player, ttr / remaining_ms)
+
+    def _inject_flaky(self, event: FaultEvent,
+                      frng: np.random.Generator) -> None:
+        """Throttle supernodes to ``severity`` of capacity (rest of day).
+
+        Reuses the §4.1 throttling channel: utilization, congestion,
+        continuity, ratings and reputation all see the degradation
+        through the machinery that already models misbehaving
+        supernodes.  The next day's throttle re-roll clears it.
+        """
+        for sn in self._fault_targets(event, frng):
+            sn.throttle = min(sn.throttle, max(0.05, event.severity))
+
+    def _inject_link_degradation(self, event: FaultEvent, subcycle,
+                                 sessions, hours) -> None:
+        """Add ``extra_ms`` one-way delay to active streams.
+
+        Targets the event's supernode when set, otherwise every active
+        session (a transit-level event).  The added delay persists for
+        the rest of the session — scoring reads the session's final
+        downstream delay — matching a route change that does not heal.
+        """
+        if event.extra_ms <= 0.0:
+            return
+        for player, session in sessions.items():
+            start, end = self._session_window(session, hours)
+            if not start <= subcycle <= end:
+                continue
+            if (event.supernode_id is not None
+                    and session.supernode_id != event.supernode_id):
+                continue
+            session.downstream_one_way_ms += event.extra_ms
+
+    def _inject_update_loss(self, event: FaultEvent, subcycle, sessions,
+                            hours, registry) -> None:
+        """Drop a share of update messages for ``duration_subcycles``.
+
+        Supernode-served sessions lose ``severity`` of their frames
+        while the window overlaps their play time; the loss lands as a
+        continuity penalty proportional to the overlapping share of the
+        session.  Cloud-direct sessions are unaffected (no update-relay
+        hop).  Sessions joining after the event has fired see the
+        post-event world and are not penalised.
+        """
+        window_end = min(hours, subcycle + event.duration_subcycles - 1)
+        affected = 0
+        for player, session in sessions.items():
+            if session.supernode_id is None:
+                continue
+            start, end = self._session_window(session, hours)
+            overlap = min(end, window_end) - max(start, subcycle) + 1
+            if overlap <= 0:
+                continue
+            span_len = end - start + 1
+            self.faults.add_penalty(
+                player, event.severity * overlap / span_len)
+            affected += 1
+        registry.counter(
+            "repro_update_loss_affected_sessions_total").inc(affected)
 
     # -- bandwidth accounting --------------------------------------------
     def _cloud_bandwidth(self, cloud_rate: np.ndarray,

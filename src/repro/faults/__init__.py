@@ -1,0 +1,46 @@
+"""``repro.faults`` — fault schedules and resilience machinery.
+
+Four pieces, mirroring the repo's null-object/toggle convention:
+
+* :mod:`repro.faults.plan` — deterministic, seedable
+  :class:`FaultPlan` schedules (crashes, flaky supernodes, link
+  degradation, update-message loss) pinned to (day, subcycle) instants.
+* :mod:`repro.faults.detection` — the heartbeat timeout model behind
+  the paper's ~0.5 s failure-detection share of migration latency.
+* :mod:`repro.faults.retry` — bounded, jittered exponential backoff
+  for join/migration retries.
+* :mod:`repro.faults.injector` — the runtime a
+  :class:`~repro.core.system.CloudFogSystem` holds: schedule lookup,
+  continuity-penalty ledger, and :class:`FaultSummary` accounting whose
+  conservation invariant (displaced = recovered + degraded + dropped)
+  the chaos tests assert.
+
+With no plan configured the system holds :data:`NULL_INJECTOR` and
+produces bit-identical results to the pre-faults code — pinned by
+``tests/faults/test_equivalence.py``.
+"""
+
+from .detection import FailureDetector
+from .injector import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultSummary,
+    NullFaultInjector,
+    build_injector,
+)
+from .plan import FAULT_KINDS, FaultEvent, FaultPlan, load_fault_plan
+from .retry import RetryPolicy
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "load_fault_plan",
+    "FailureDetector",
+    "RetryPolicy",
+    "FaultSummary",
+    "FaultInjector",
+    "NullFaultInjector",
+    "NULL_INJECTOR",
+    "build_injector",
+]

@@ -1,0 +1,198 @@
+"""Deterministic, seedable fault schedules.
+
+A :class:`FaultPlan` is a frozen list of :class:`FaultEvent`\\ s pinned
+to (day, subcycle) instants of the §4.1 cycle schedule.  The system
+consults the plan inside its subcycle sweep, so faults land *mid-day*
+— sessions are live when their supernode dies, which is exactly the
+churn regime §3.2.2's sub-second-migration claim is about.
+
+Four event kinds model the volatility of consumer-grade fog nodes:
+
+``crash``
+    ``count`` live supernodes (or one specific ``supernode_id``) go
+    offline instantly.  Connected players are displaced and walk the
+    degradation ladder (candidate list → retried selection → cloud).
+``flaky``
+    A supernode silently throttles its upload to ``severity`` of
+    nominal for the rest of the day — the §4.1 misbehaviour model,
+    injected on demand instead of by coin flip.
+``degrade_link``
+    Transient last-mile trouble: every active session (or only those
+    on ``supernode_id``) gains ``extra_ms`` of one-way path latency
+    for the remainder of the session.
+``lose_updates``
+    The cloud→supernode game-state update channel drops a ``severity``
+    fraction of messages for ``duration_subcycles``; fog-served
+    sessions overlapping the window lose continuity proportionally.
+
+Plans are plain data: build them in code, load them from JSON
+(``--faults scenario.json``), or generate a Poisson crash schedule
+with :meth:`FaultPlan.poisson` — same seed, same schedule, always.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from functools import cached_property
+from pathlib import Path
+
+import numpy as np
+
+from .detection import FailureDetector
+from .retry import RetryPolicy
+
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan", "load_fault_plan"]
+
+#: Recognised event kinds.
+FAULT_KINDS = ("crash", "flaky", "degrade_link", "lose_updates")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault at a (day, subcycle) instant."""
+
+    day: int
+    subcycle: int
+    kind: str
+    #: ``crash``: how many random live supernodes fail.
+    count: int = 1
+    #: Target a specific supernode instead of sampling one.
+    supernode_id: int | None = None
+    #: ``flaky``: throttle factor; ``lose_updates``: loss fraction.
+    severity: float = 0.5
+    #: Window length for windowed kinds (``lose_updates``).
+    duration_subcycles: int = 1
+    #: ``degrade_link``: one-way latency added to affected sessions.
+    extra_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}")
+        if self.day < 0:
+            raise ValueError("day must be non-negative")
+        if self.subcycle < 1:
+            raise ValueError("subcycle is 1-based and must be >= 1")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if not 0.0 <= self.severity <= 1.0:
+            raise ValueError("severity must lie in [0, 1]")
+        if self.duration_subcycles < 1:
+            raise ValueError("duration_subcycles must be >= 1")
+        if self.extra_ms < 0:
+            raise ValueError("extra_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A full fault schedule plus the resilience parameters to run it.
+
+    ``detector`` and ``retry`` configure the failure-detection timeout
+    model and the join/migration backoff; ``ambient_loss_boost`` adds a
+    constant packet-loss floor to the whole transport substrate (an
+    always-degraded network, independent of scheduled events);
+    ``transient_refusal_prob`` makes each fault-driven selection round
+    independently time out with that probability (churn turbulence),
+    which is what exercises the backoff retries.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    detector: FailureDetector = field(default_factory=FailureDetector)
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    ambient_loss_boost: float = 0.0
+    transient_refusal_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.ambient_loss_boost < 0.5:
+            raise ValueError("ambient_loss_boost must lie in [0, 0.5)")
+        if not 0.0 <= self.transient_refusal_prob < 1.0:
+            raise ValueError("transient_refusal_prob must lie in [0, 1)")
+
+    @cached_property
+    def _by_instant(self) -> dict[tuple[int, int], tuple[FaultEvent, ...]]:
+        table: dict[tuple[int, int], list[FaultEvent]] = {}
+        for event in self.events:
+            table.setdefault((event.day, event.subcycle), []).append(event)
+        return {key: tuple(value) for key, value in table.items()}
+
+    @cached_property
+    def _days(self) -> frozenset[int]:
+        return frozenset(event.day for event in self.events)
+
+    def events_at(self, day: int, subcycle: int) -> tuple[FaultEvent, ...]:
+        """Events scheduled for one (day, subcycle) instant."""
+        return self._by_instant.get((day, subcycle), ())
+
+    def has_events_on(self, day: int) -> bool:
+        return day in self._days
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- generators --------------------------------------------------------
+    @classmethod
+    def poisson(cls, rate_per_day: float, days: int, seed: int = 0,
+                hours_per_day: int = 24, kind: str = "crash",
+                **event_overrides) -> "FaultPlan":
+        """A seedable Poisson schedule: ~``rate_per_day`` events per day.
+
+        Event counts are Poisson draws per day and instants are uniform
+        over the subcycles, from a dedicated ``default_rng(seed)`` —
+        the schedule never touches the simulation's RNG streams.
+        """
+        if rate_per_day < 0:
+            raise ValueError("rate_per_day must be non-negative")
+        if days < 1:
+            raise ValueError("days must be >= 1")
+        rng = np.random.default_rng(seed)
+        events = []
+        for day in range(days):
+            for _ in range(int(rng.poisson(rate_per_day))):
+                subcycle = int(rng.integers(1, hours_per_day + 1))
+                events.append(FaultEvent(day=day, subcycle=subcycle,
+                                         kind=kind, **event_overrides))
+        return cls(events=tuple(events))
+
+    def with_(self, **changes) -> "FaultPlan":
+        """A modified copy (mirrors SystemConfig.with_)."""
+        return replace(self, **changes)
+
+    # -- (de)serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "events": [asdict(event) for event in self.events],
+            "detector": asdict(self.detector),
+            "retry": asdict(self.retry),
+            "ambient_loss_boost": self.ambient_loss_boost,
+            "transient_refusal_prob": self.transient_refusal_prob,
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        known = {"events", "detector", "retry", "ambient_loss_boost",
+                 "transient_refusal_prob"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
+        events = tuple(FaultEvent(**event)
+                       for event in data.get("events", ()))
+        detector = FailureDetector(**data.get("detector", {}))
+        retry = RetryPolicy(**data.get("retry", {}))
+        return cls(events=events, detector=detector, retry=retry,
+                   ambient_loss_boost=float(
+                       data.get("ambient_loss_boost", 0.0)),
+                   transient_refusal_prob=float(
+                       data.get("transient_refusal_prob", 0.0)))
+
+
+def load_fault_plan(path: str | Path) -> FaultPlan:
+    """Load a ``--faults`` scenario file (JSON)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: a fault scenario must be a JSON object")
+    return FaultPlan.from_dict(data)

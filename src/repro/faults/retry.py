@@ -1,0 +1,69 @@
+"""Retry with exponential backoff for joins and migrations.
+
+Fog supernodes are volatile consumer machines: a candidate that looked
+free in the cloud's table may refuse the capacity ask moments later
+(§3.2.2's sequential ask exists for exactly this race).  The retry
+policy bounds how hard a displaced player hammers the cloud before it
+gives up and degrades to direct cloud streaming:
+
+* attempts are capped (``max_attempts`` total selection rounds);
+* waits grow geometrically from ``base_delay_ms`` and are capped at
+  ``cap_ms``;
+* jitter decorrelates retry storms after a mass failure (a thundering
+  herd of displaced players must not re-ask in lockstep).
+
+Jitter draws come from whatever RNG the caller passes — fault handling
+passes its own per-day ``faults-{day}`` stream, so retries never
+perturb the workload/selection streams that paired baseline
+comparisons depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff."""
+
+    max_attempts: int = 3
+    base_delay_ms: float = 50.0
+    multiplier: float = 2.0
+    cap_ms: float = 1000.0
+    jitter_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_ms < 0:
+            raise ValueError("base_delay_ms must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be >= 1")
+        if self.cap_ms < self.base_delay_ms:
+            raise ValueError("cap_ms must be >= base_delay_ms")
+        if not 0 <= self.jitter_fraction < 1:
+            raise ValueError("jitter_fraction must lie in [0, 1)")
+
+    def backoff_ms(self, attempt: int,
+                   rng: np.random.Generator | None = None) -> float:
+        """Wait before retry number ``attempt`` (0-based: the wait
+        between the first failure and the second try is attempt 0)."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        delay = min(self.cap_ms,
+                    self.base_delay_ms * self.multiplier ** attempt)
+        if rng is not None and self.jitter_fraction > 0:
+            delay *= float(rng.uniform(1.0 - self.jitter_fraction,
+                                       1.0 + self.jitter_fraction))
+        return delay
+
+    def total_backoff_budget_ms(self) -> float:
+        """Worst-case un-jittered wait across every retry."""
+        return sum(min(self.cap_ms,
+                       self.base_delay_ms * self.multiplier ** attempt)
+                   for attempt in range(self.max_attempts - 1))

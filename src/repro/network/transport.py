@@ -165,3 +165,19 @@ class TransportModel:
         if count < 0:
             raise ValueError("count must be non-negative")
         return rng.random(count) < self.loss_rate(utilization)
+
+    def degraded(self, loss_boost: float) -> "TransportModel":
+        """A copy with an elevated baseline loss floor.
+
+        Fault scenarios use this to model an ambiently lossy network
+        (a :class:`~repro.faults.plan.FaultPlan` with
+        ``ambient_loss_boost`` set): every path, healthy or not,
+        drops at least ``base_loss_rate + loss_boost`` of its packets.
+        The congestion/jitter behaviour is untouched.
+        """
+        if loss_boost < 0:
+            raise ValueError("loss_boost must be non-negative")
+        return TransportModel(
+            max_congestion_factor=self.max_congestion_factor,
+            jitter_fraction=self.jitter_fraction,
+            base_loss_rate=min(0.5, self.base_loss_rate + loss_boost))

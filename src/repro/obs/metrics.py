@@ -37,12 +37,19 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "DEFAULT_RECOVERY_BUCKETS_MS",
 ]
 
 #: Default histogram buckets, tuned for millisecond latencies (join,
 #: migration, response paths all land inside this range).
 DEFAULT_LATENCY_BUCKETS_MS = (
     1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0)
+
+#: Buckets for recovery times after a fault (detection + reconnect):
+#: coarser and shifted right of the join-latency buckets, with the
+#: paper's sub-second migration claim sitting at the 1 s boundary.
+DEFAULT_RECOVERY_BUCKETS_MS = (
+    100.0, 250.0, 500.0, 750.0, 1000.0, 1500.0, 2500.0, 5000.0, 10000.0)
 
 LabelItems = tuple[tuple[str, str], ...]
 

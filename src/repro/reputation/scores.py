@@ -101,6 +101,21 @@ class ReputationTable:
         """Cached score; the neutral prior for never-rated supernodes."""
         return self._scores.get((player, supernode), self.neutral_prior)
 
+    def penalize(self, player: int, supernode: int, today: int,
+                 value: float = 0.0) -> None:
+        """Record a failure as a worst-case rating and refresh at once.
+
+        A crashed supernode delivered zero continuity to the players it
+        dropped, so the displacement enters the first-person ledger as
+        a ``value`` (default 0) rating.  Refreshing immediately makes
+        reputation-based selection (strategy 1) steer those players
+        around the failed node as soon as it resurfaces — without this,
+        a node could crash nightly and still be ranked on its sunny-day
+        history alone.
+        """
+        self.ledger.add(player, supernode, value, today)
+        self.refresh(player, today=today)
+
     def rank(self, player: int, candidates: list[int]) -> list[int]:
         """Candidates in descending reputation order (§3.2.2).
 

@@ -112,6 +112,8 @@ class CycleScheduler:
     protocols: list[CycleProtocol] = field(default_factory=list)
     day_start_hooks: list[Callable[[int], None]] = field(default_factory=list)
     day_end_hooks: list[Callable[[int], None]] = field(default_factory=list)
+    subcycle_hooks: list[Callable[[Clock], None]] = field(
+        default_factory=list)
 
     def add_protocol(self, protocol: CycleProtocol) -> None:
         self.protocols.append(protocol)
@@ -121,6 +123,16 @@ class CycleScheduler:
 
     def on_day_end(self, hook: Callable[[int], None]) -> None:
         self.day_end_hooks.append(hook)
+
+    def on_subcycle(self, hook: Callable[[Clock], None]) -> None:
+        """Register a per-(day, hour) hook without the protocol shape.
+
+        Fault drivers and probes register here: unlike a protocol they
+        are plain callables and run *before* the protocols of each
+        subcycle, mirroring how in-system fault injection fires before
+        the subcycle's joins.
+        """
+        self.subcycle_hooks.append(hook)
 
     def run(self) -> None:
         """Execute the full schedule."""
@@ -138,9 +150,11 @@ class CycleScheduler:
                 # Subcycle spans only matter when protocols run per
                 # subcycle; hook-driven systems would emit 24 empty
                 # spans per day otherwise.
-                if self.protocols:
+                if self.protocols or self.subcycle_hooks:
                     with tracer.span("subcycle", day=day,
                                      subcycle=clock.subcycle):
+                        for hook in self.subcycle_hooks:
+                            hook(clock)
                         for protocol in self.protocols:
                             protocol.on_subcycle(clock)
             for hook in self.day_end_hooks:

@@ -104,7 +104,10 @@ def test_migration_prefers_own_list_over_cloud():
                               if sn is not a]
     orphans = a.fail()
     system.directory.rebuild(system.live_supernodes)
-    latency = system._migrate(0, l_max=98.0, rng=rng)
+    outcome = system._migrate(0, l_max=98.0, rng=rng)
     assert 0 in b.connected
+    assert outcome.via == "candidates"
+    assert outcome.supernode_id == b.supernode_id
+    assert outcome.attempts == 0  # no selection round, no backoff
     # 2 x 12 probe + 10 handshake + 12 connect = 46 ms, no cloud RTT.
-    assert latency == pytest.approx(46.0)
+    assert outcome.latency_ms == pytest.approx(46.0)

@@ -1,0 +1,32 @@
+"""Regenerate the pinned no-faults golden digests.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python -m faults.regen_golden
+
+and paste the printed values into ``tests/faults/test_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import CloudFogSystem
+from repro.core.config import cloudfog_advanced, cloudfog_basic
+
+from .digest import run_result_digest
+
+SCENARIOS = {
+    "cloudfog_basic": cloudfog_basic(
+        num_players=250, num_supernodes=12, seed=7),
+    "cloudfog_advanced": cloudfog_advanced(
+        num_players=250, num_supernodes=12, seed=7),
+}
+
+
+def compute() -> dict[str, str]:
+    return {name: run_result_digest(CloudFogSystem(config).run(days=2))
+            for name, config in SCENARIOS.items()}
+
+
+if __name__ == "__main__":
+    for name, digest in compute().items():
+        print(f'    "{name}": "{digest}",')

@@ -1,0 +1,45 @@
+"""Bit-identity pin: no FaultPlan => outputs identical to pre-faults code.
+
+The golden digests below were generated from the pre-change code path
+and must never drift: a system configured without a fault plan (the
+default) takes the shared :data:`~repro.faults.injector.NULL_INJECTOR`
+path, creates no fault RNG streams and must reproduce every numeric
+output bit for bit.  Regenerate (only when an *intentional* simulation
+change lands) with::
+
+    PYTHONPATH=src:tests python -m faults.regen_golden
+"""
+
+import pytest
+
+from repro.core import CloudFogSystem
+from repro.faults.plan import FaultPlan
+
+from .digest import run_result_digest
+from .regen_golden import SCENARIOS
+
+GOLDEN = {
+    "cloudfog_basic":
+        "a9f26aeafa28200abf986015c91d2d05ddf0efff4f338e896107ecd4ccefc741",
+    "cloudfog_advanced":
+        "11abc00b38ecb1f5d29278c52db31bd2d8f66ebc71cebbef2f56684111d8a586",
+}
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_no_fault_plan_is_bit_identical(name):
+    result = CloudFogSystem(SCENARIOS[name]).run(days=2)
+    assert run_result_digest(result) == GOLDEN[name]
+    assert result.faults.displaced == 0
+    assert result.faults.events_applied == 0
+
+
+def test_empty_fault_plan_is_also_bit_identical():
+    """An *active* injector with no events must not perturb outputs:
+    no fault RNG stream is created for event-free days and the penalty
+    ledger stays empty, so the digest still matches the golden."""
+    from dataclasses import replace
+
+    config = replace(SCENARIOS["cloudfog_advanced"], fault_plan=FaultPlan())
+    result = CloudFogSystem(config).run(days=2)
+    assert run_result_digest(result) == GOLDEN["cloudfog_advanced"]

@@ -1,0 +1,97 @@
+"""Fault plan construction, lookup, generation and (de)serialisation."""
+
+import json
+
+import pytest
+
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan, load_fault_plan
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        FaultEvent(day=0, subcycle=1, kind="meteor")
+    with pytest.raises(ValueError):
+        FaultEvent(day=-1, subcycle=1, kind="crash")
+    with pytest.raises(ValueError):
+        FaultEvent(day=0, subcycle=0, kind="crash")  # subcycles are 1-based
+    with pytest.raises(ValueError):
+        FaultEvent(day=0, subcycle=1, kind="crash", count=0)
+    with pytest.raises(ValueError):
+        FaultEvent(day=0, subcycle=1, kind="lose_updates", severity=1.5)
+    with pytest.raises(ValueError):
+        FaultEvent(day=0, subcycle=1, kind="lose_updates",
+                   duration_subcycles=0)
+    with pytest.raises(ValueError):
+        FaultEvent(day=0, subcycle=1, kind="degrade_link", extra_ms=-1.0)
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        FaultPlan(ambient_loss_boost=0.5)
+    with pytest.raises(ValueError):
+        FaultPlan(transient_refusal_prob=1.0)
+
+
+def test_events_at_and_has_events_on():
+    a = FaultEvent(day=0, subcycle=5, kind="crash")
+    b = FaultEvent(day=0, subcycle=5, kind="flaky")
+    c = FaultEvent(day=2, subcycle=1, kind="crash")
+    plan = FaultPlan(events=(a, b, c))
+    assert plan.events_at(0, 5) == (a, b)
+    assert plan.events_at(0, 6) == ()
+    assert plan.events_at(1, 5) == ()
+    assert plan.has_events_on(0)
+    assert not plan.has_events_on(1)
+    assert plan.has_events_on(2)
+    assert len(plan) == 3
+
+
+def test_poisson_schedule_is_seed_deterministic():
+    one = FaultPlan.poisson(2.0, days=5, seed=11)
+    two = FaultPlan.poisson(2.0, days=5, seed=11)
+    other = FaultPlan.poisson(2.0, days=5, seed=12)
+    assert one.events == two.events
+    assert one.events != other.events
+    for event in one.events:
+        assert event.kind == "crash"
+        assert 0 <= event.day < 5
+        assert 1 <= event.subcycle <= 24
+
+
+def test_poisson_rate_zero_is_empty():
+    assert len(FaultPlan.poisson(0.0, days=10, seed=0)) == 0
+
+
+def test_json_round_trip(tmp_path):
+    plan = FaultPlan(
+        events=(FaultEvent(day=1, subcycle=20, kind="lose_updates",
+                           severity=0.25, duration_subcycles=2),),
+        ambient_loss_boost=0.02,
+        transient_refusal_prob=0.1)
+    path = tmp_path / "scenario.json"
+    path.write_text(plan.to_json())
+    loaded = load_fault_plan(path)
+    assert loaded == plan
+
+
+def test_from_dict_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown fault plan keys"):
+        FaultPlan.from_dict({"events": [], "chaos_level": 11})
+
+
+def test_load_rejects_non_object(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError):
+        load_fault_plan(path)
+
+
+def test_example_scenario_parses():
+    """The shipped example stays loadable and uses only known kinds."""
+    from pathlib import Path
+
+    path = (Path(__file__).parent.parent.parent
+            / "examples" / "chaos_scenario.json")
+    plan = load_fault_plan(path)
+    assert len(plan) > 0
+    assert all(event.kind in FAULT_KINDS for event in plan.events)

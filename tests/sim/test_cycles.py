@@ -95,6 +95,32 @@ def test_day_hooks_fire_at_boundaries():
     ]
 
 
+def test_subcycle_hooks_run_before_protocols():
+    """Hooks (e.g. fault injection) see each instant before protocols."""
+    log = []
+    schedule = Schedule(days=1, hours_per_day=2, warmup_days=0,
+                        peak_subcycles=(1, 2))
+    scheduler = CycleScheduler(schedule=schedule)
+    scheduler.on_subcycle(lambda clock: log.append(("hook", clock.day,
+                                                    clock.hour)))
+    scheduler.add_protocol(RecordingProtocol("p", log))
+    scheduler.run()
+    assert log == [
+        ("hook", 0, 0), ("p", 0, 0),
+        ("hook", 0, 1), ("p", 0, 1),
+    ]
+
+
+def test_subcycle_hooks_fire_without_protocols():
+    log = []
+    scheduler = CycleScheduler(
+        schedule=Schedule(days=1, hours_per_day=2, warmup_days=0,
+                          peak_subcycles=(1, 2)))
+    scheduler.on_subcycle(lambda clock: log.append(clock.subcycle))
+    scheduler.run()
+    assert log == [1, 2]
+
+
 def test_run_day_executes_single_day():
     log = []
     scheduler = CycleScheduler(

@@ -18,8 +18,24 @@ def test_every_figure_is_registered():
     expected = {"fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig6b",
                 "fig7", "fig7b", "fig8", "fig8b", "fig9", "fig9b",
                 "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-                "fig16a", "fig16b"}
+                "fig16a", "fig16b", "chaos", "chaos-run"}
     assert set(FIGURES) == expected
+
+
+def test_faults_flag_rejected_on_figures(capsys):
+    assert main(["fig16a", "--faults", "nope.json"]) == 2
+    assert "--faults" in capsys.readouterr().err
+
+
+def test_chaos_run_accepts_scenario_file(capsys):
+    from pathlib import Path
+
+    scenario = (Path(__file__).parent.parent
+                / "examples" / "chaos_scenario.json")
+    assert main(["chaos-run", "--faults", str(scenario)]) == 0
+    out = capsys.readouterr().out
+    assert "events applied" in out
+    assert "unaccounted" in out
 
 
 def test_list_prints_catalogue(capsys):
