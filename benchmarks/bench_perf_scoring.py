@@ -36,7 +36,8 @@ import numpy as np
 
 from repro.core.config import cloudfog_basic
 from repro.core.selection import SupernodeDirectory
-from repro.core.system import CloudFogSystem, RunResult
+from repro.core.accounting import RunResult
+from repro.core.system import CloudFogSystem
 from repro.experiments.parallel import VariantTask, run_variants
 from repro.experiments.testbeds import Testbed
 

@@ -35,7 +35,15 @@ from .server_assignment import (
     assign_players_randomly,
     assign_players_socially,
 )
-from .system import CloudFogSystem, DayMetrics, RunResult, SessionRecord
+from .accounting import (
+    DayMetrics,
+    RunResult,
+    SessionRecord,
+    SweepLoads,
+)
+from .lifecycle import MigrationOutcome
+from .state import SimState
+from .system import CloudFogSystem
 
 __all__ = [
     "CandidateEntry",
@@ -61,7 +69,10 @@ __all__ = [
     "assign_players_randomly",
     "assign_players_socially",
     "CloudFogSystem",
+    "SimState",
     "DayMetrics",
     "RunResult",
     "SessionRecord",
+    "SweepLoads",
+    "MigrationOutcome",
 ]

@@ -1,0 +1,356 @@
+"""Day/subcycle orchestrator: the staged sweep pipeline.
+
+The top of the core layering.  One day runs as the §4.1 cycle:
+
+1. throttle re-roll (``stage`` order documented in :data:`run_day`);
+2. weekly server assignment;
+3. day plans + social game choice;
+4. the subcycle sweep — per subcycle the explicit stage tuple
+   :data:`SUBCYCLE_STAGES` runs in order: departures → fault
+   injection (which walks migration/retry ladders) → arrivals/joins;
+5. session scoring (``core.scoring``) and ratings;
+6. accounting (``core.accounting``): credits, day metrics, Eq.-2
+   bandwidth.
+
+Every function operates on a :class:`~repro.core.state.SimState`;
+:class:`~repro.core.system.CloudFogSystem` is a thin façade over this
+module.  The stage tuple is read dynamically so tests can monkeypatch
+it to assert ordering and state handoff.
+
+Layering: may import every lower core stage and ``faults.handlers`` —
+never ``core.system`` or ``experiments`` (``tools/check_layering.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..faults import handlers
+from ..workload.churn import PlayerDayPlan, sample_day_plans
+from ..workload.population import choose_game
+from .accounting import RunResult, SweepLoads, credit_contributors, summarize_day
+from .entities import ConnectionKind
+from .lifecycle import join
+from .scoring import score_sessions
+from .server_assignment import assign_players_randomly, assign_players_socially
+from .state import Session, SimState, deploy
+
+__all__ = ["SweepContext", "SUBCYCLE_STAGES", "stage_departures",
+           "stage_faults", "stage_arrivals", "sample_plans",
+           "choose_games", "sweep_day", "run_server_assignment",
+           "run_provisioning", "run_day", "run_schedule"]
+
+_log = obs.get_logger(__name__)
+
+
+# ----------------------------------------------------------------------
+# plans / games
+# ----------------------------------------------------------------------
+def sample_plans(state: SimState, rng: np.random.Generator,
+                 day: int = 0) -> list[PlayerDayPlan]:
+    n = state.topology.num_players
+    if state.daily_participants is not None:
+        weight = 1.0
+        if state.weekly_weights is not None:
+            weight = float(state.weekly_weights[day % 7])
+        count = min(n, int(round(state.daily_participants * weight)))
+        players = rng.choice(n, size=max(1, count), replace=False)
+    else:
+        players = np.arange(n)
+    return sample_day_plans(rng, players, state.duration_mixture,
+                            state.start_times)
+
+
+def choose_games(state: SimState, plans: list[PlayerDayPlan],
+                 rng: np.random.Generator) -> None:
+    state.games.clear()
+    for index in rng.permutation(len(plans)):
+        plan = plans[int(index)]
+        state.games[plan.player] = choose_game(
+            plan.player, state.population.friends, state.games, rng)
+
+
+# ----------------------------------------------------------------------
+# the subcycle sweep: explicit staged pipeline
+# ----------------------------------------------------------------------
+@dataclass
+class SweepContext:
+    """Mutable per-day sweep state handed from stage to stage.
+
+    One context lives for one :func:`sweep_day` call; the stages in
+    :data:`SUBCYCLE_STAGES` mutate it in order at every subcycle.
+    """
+
+    day: int
+    hours: int
+    rng: np.random.Generator
+    result: RunResult
+    measuring: bool
+    loads: SweepLoads
+    cloud_rate: np.ndarray
+    starts: dict[int, list[PlayerDayPlan]]
+    sessions: dict[int, Session] = field(default_factory=dict)
+    ends: dict[int, list[int]] = field(default_factory=dict)
+    fault_rng: np.random.Generator | None = None
+    subcycle: int = 0
+
+
+def stage_departures(state: SimState, ctx: SweepContext) -> None:
+    """Disconnect every session whose play window ended this subcycle."""
+    for player in ctx.ends.pop(ctx.subcycle, []):
+        session = ctx.sessions.get(player)
+        if session is not None and session.supernode_id is not None:
+            state.supernode_pool[session.supernode_id].disconnect(player)
+
+
+def stage_faults(state: SimState, ctx: SweepContext) -> None:
+    """Fire scheduled faults (crash → migration/retry, flaky, …).
+
+    Runs between departures and arrivals: streaming sessions see the
+    failure mid-day and walk the §3.2.2 recovery ladder, while this
+    subcycle's new joiners already see the post-fault directory.
+    """
+    if ctx.fault_rng is not None:
+        handlers.apply_faults(state, ctx.day, ctx.subcycle, ctx.sessions,
+                              ctx.loads, ctx.cloud_rate, ctx.fault_rng,
+                              ctx.result, ctx.measuring, ctx.hours)
+
+
+def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
+    """Join every plan starting this subcycle; commit its load span."""
+    subcycle, hours = ctx.subcycle, ctx.hours
+    counts, rates = ctx.loads.counts, ctx.loads.rates
+    for plan in ctx.starts.pop(subcycle, []):
+        session = join(state, plan, ctx.rng)
+        ctx.sessions[plan.player] = session
+        end = min(hours,
+                  subcycle + int(np.ceil(plan.duration_hours)) - 1)
+        ctx.ends.setdefault(end + 1, []).append(plan.player)
+        game = state.games[plan.player]
+        span = slice(subcycle, end + 1)
+        if session.supernode_id is not None:
+            row = ctx.loads.row(session.supernode_id)
+            counts[row, span] += 1
+            rates[row, span] += game.stream_rate_mbps
+        elif session.kind is ConnectionKind.CLOUD:
+            rate = game.stream_rate_mbps
+            if state.compression is not None:
+                rate = state.compression.compressed_mbps(rate)
+            ctx.cloud_rate[span] += rate
+        if ctx.measuring and session.join_latency_ms is not None:
+            ctx.result.join_latencies_ms.append(session.join_latency_ms)
+
+
+#: The per-subcycle stage pipeline, in execution order.  Read
+#: dynamically by :func:`sweep_day` (module attribute lookup every
+#: call) so tests can monkeypatch it to assert ordering and handoff.
+SUBCYCLE_STAGES = (stage_departures, stage_faults, stage_arrivals)
+
+
+def sweep_day(state: SimState, plans, rng, result, measuring, day=0):
+    """Process joins/leaves hour by hour; build load timelines.
+
+    When a :class:`~repro.faults.plan.FaultPlan` is configured,
+    scheduled faults fire between the subcycle's leaves and joins —
+    sessions already streaming experience the failure mid-day and walk
+    the §3.2.2 recovery ladder, while the subcycle's new joiners
+    already see the post-fault directory.  Fault handling draws only
+    from a dedicated ``faults-{day}`` stream, so a faulted run stays
+    pairable with its fault-free baseline.
+    """
+    hours = state.config.schedule.hours_per_day
+    starts: dict[int, list[PlayerDayPlan]] = {}
+    for plan in plans:
+        starts.setdefault(min(plan.start_subcycle, hours), []).append(plan)
+
+    ctx = SweepContext(
+        day=day, hours=hours, rng=rng, result=result, measuring=measuring,
+        loads=SweepLoads.for_supernodes(state.live_supernodes, hours),
+        cloud_rate=np.zeros(hours + 2), starts=starts)
+
+    if state.faults.active:
+        state.faults.start_day(day)
+        if state.faults.has_events_on(day):
+            ctx.fault_rng = state.rng_factory.stream(f"faults-{day}")
+
+    for subcycle in range(1, hours + 1):
+        ctx.subcycle = subcycle
+        for stage in SUBCYCLE_STAGES:
+            stage(state, ctx)
+    # Disconnect everything at day end (cycles do not wrap, §4.1).
+    for player, session in ctx.sessions.items():
+        if session.supernode_id is not None:
+            state.supernode_pool[session.supernode_id].disconnect(player)
+    return ctx.sessions, ctx.loads, ctx.cloud_rate
+
+
+# ----------------------------------------------------------------------
+# server assignment
+# ----------------------------------------------------------------------
+def run_server_assignment(state: SimState, rng: np.random.Generator,
+                          result: RunResult) -> None:
+    if state.config.mode == "cdn":
+        return
+    players_by_dc: dict[int, list[int]] = {}
+    for player in range(state.topology.num_players):
+        players_by_dc.setdefault(
+            int(state.nearest_dc[player]), []).append(player)
+    state.server_latency_cache.clear()
+    total_wall = 0.0
+    for dc_index, players in players_by_dc.items():
+        datacenter = state.datacenters[dc_index]
+        if state.config.strategies.social_assignment:
+            assignment = assign_players_socially(
+                datacenter, players, state.population.friends, rng)
+        else:
+            assignment = assign_players_randomly(datacenter, players, rng)
+        total_wall += assignment.wall_time_s
+        # Per-player expected server latency: share of its friends on
+        # other servers times the cross-server round trip.
+        for player in players:
+            friends = [f for f in state.population.friends.friends(player)
+                       if state.nearest_dc[f] == dc_index]
+            if not friends:
+                state.server_latency_cache[player] = 0.0
+                continue
+            crossing = sum(
+                1 for f in friends
+                if datacenter.server_of(f) != datacenter.server_of(player))
+            state.server_latency_cache[player] = (
+                2.0 * datacenter.hop_ms * crossing / len(friends))
+    result.assignment_wall_times_s.append(total_wall)
+
+
+# ----------------------------------------------------------------------
+# provisioning
+# ----------------------------------------------------------------------
+def run_provisioning(state: SimState, plans: list[PlayerDayPlan],
+                     rng: np.random.Generator) -> None:
+    """Observe per-window player counts; redeploy for the next window."""
+    assert state.provisioner is not None
+    hours = state.config.schedule.hours_per_day
+    window = state.provisioner.window_hours
+    with obs.get_tracer().span("run_provisioning", windows=max(
+            1, -(-hours // window))):
+        for window_start in range(1, hours + 1, window):
+            window_end = min(hours, window_start + window - 1)
+            online = sum(
+                1 for plan in plans
+                if any(plan.online_at(s)
+                       for s in range(window_start, window_end + 1)))
+            state.provisioner.observe(online)
+            if state.provisioner.ready:
+                target = min(state.provisioner.target_supernodes(),
+                             len(state.supernode_pool))
+                chosen = state.provisioner.choose_deployment(
+                    state.supernode_pool, target, rng)
+                deploy(state, chosen)
+                obs.get_registry().counter(
+                    "repro_provisioning_redeploys_total").inc()
+
+
+# ----------------------------------------------------------------------
+# one day / full schedule
+# ----------------------------------------------------------------------
+def run_day(state: SimState, day: int, result: RunResult,
+            measuring: bool) -> None:
+    config = state.config
+    tracer = obs.get_tracer()
+    registry = obs.get_registry()
+    day_span = tracer.span("run_day", day=day, measuring=measuring,
+                           mode=config.mode)
+    state.current_day = day
+    with day_span:
+        # (1) Throttle re-roll (its own stream: no workload shift).
+        throttle_rng = state.rng_factory.stream(f"throttle-{day}")
+        for sn in state.supernode_pool:
+            sn.roll_throttle(throttle_rng, config.throttle_probability)
+
+        # (Weekly) server assignment.
+        if day % 7 == 0:
+            with tracer.span("server_assignment", day=day):
+                run_server_assignment(
+                    state, state.rng_factory.stream(f"assignment-{day}"),
+                    result)
+
+        # (2) Day plans and social game choice (paired across systems).
+        with tracer.span("day_plans", day=day):
+            plans = sample_plans(
+                state, state.rng_factory.stream(f"plans-{day}"), day=day)
+            choose_games(state, plans,
+                         state.rng_factory.stream(f"games-{day}"))
+
+        # (3) Subcycle sweep.
+        selection_rng = state.rng_factory.stream(f"selection-{day}")
+        with tracer.span("sweep_day", day=day, plans=len(plans)):
+            sessions, loads, cloud_rate = \
+                sweep_day(state, plans, selection_rng, result, measuring,
+                          day=day)
+
+        # (4)+(5) Per-session QoS and ratings.
+        qos_rng = state.rng_factory.stream(f"qos-{day}")
+        records = score_sessions(state, day, sessions, loads,
+                                 cloud_rate, qos_rng)
+        with tracer.span("ratings", day=day):
+            for record in records:
+                if record.kind is ConnectionKind.SUPERNODE:
+                    state.ledger.add(record.player, record.target,
+                                     record.continuity, day)
+            for player in {r.player for r in records
+                           if r.kind is ConnectionKind.SUPERNODE}:
+                state.reputation.refresh(player, today=day)
+
+        # (5b) Credit the contributors.
+        credit_contributors(state, loads)
+
+        # (6) Provisioning windows.
+        if state.provisioner is not None:
+            run_provisioning(
+                state, plans, state.rng_factory.stream(f"provision-{day}"))
+
+        for kind in ConnectionKind:
+            count = sum(1 for r in records if r.kind is kind)
+            if count:
+                registry.counter("repro_sessions_total",
+                                 kind=kind.value).inc(count)
+        day_span.annotate(sessions=len(records))
+        _log.debug("day done", extra=obs.kv(
+            day=day, measuring=measuring, sessions=len(records)))
+
+    if measuring and records:
+        result.days.append(
+            summarize_day(state, day, records, cloud_rate, loads))
+        result.sessions.extend(records)
+
+
+def run_schedule(state: SimState, days: int | None = None) -> RunResult:
+    """Run the configured schedule and return measured-day results.
+
+    Execution goes through the PeerSim-style
+    :class:`~repro.sim.cycles.CycleScheduler`: each cycle (day) fires
+    as a day-start hook — exactly the paper's cycle-driven execution
+    model.  Short runs always measure at least the final day.
+    """
+    from ..sim.cycles import CycleScheduler, Schedule
+
+    schedule = state.config.schedule
+    total_days = schedule.days if days is None else days
+    if total_days <= 0:
+        raise ValueError(f"days must be positive, got {total_days}")
+    result = RunResult()
+    result.supernode_join_latencies_ms = list(
+        state.supernode_join_latencies_ms)
+    warmup = min(schedule.warmup_days, max(0, total_days - 1))
+
+    driver = CycleScheduler(schedule=Schedule(
+        days=total_days,
+        hours_per_day=schedule.hours_per_day,
+        warmup_days=warmup,
+        peak_subcycles=schedule.peak_subcycles))
+    driver.on_day_start(
+        lambda day: run_day(state, day, result, measuring=day >= warmup))
+    driver.run()
+    return result

@@ -1,83 +1,51 @@
-"""The CloudFog system: full joint simulation of one gaming deployment.
+"""The CloudFog system façade: config → state → staged sweep pipeline.
 
-This is the paper's evaluation engine.  One :class:`CloudFogSystem`
-instance materialises a population, an infrastructure (fog supernodes,
-plain cloud, or a CDN baseline) and runs the §4.1 cycle schedule:
-28 one-day cycles of 24 hourly subcycles, 3 warm-up weeks, nightly peak
-at subcycles 20–24.  Each day:
+This module used to be the paper's entire evaluation engine in one
+1,500-line class.  The engine now lives in a layered pipeline — shared
+mutable :class:`~repro.core.state.SimState` at the bottom, stage
+modules above it, one orchestrator on top:
 
-1. supernodes re-roll their throttling behaviour (§4.1 settings);
-2. every participating player gets a day plan (start subcycle, duration)
-   and chooses a game socially (§4.1 rule);
-3. a subcycle sweep runs joins (supernode selection, §3.2) and leaves,
-   tracking per-supernode load timelines;
-4. per-session QoS is computed from the network substrate;
-5. players rate their supernodes with the session continuity and the
-   reputation tables refresh;
-6. cloud bandwidth is accounted per subcycle: Λ per serving supernode
-   plus the full stream rate per cloud-direct player (Eq. 2).
+* :mod:`repro.core.state` — the deployed system itself (population,
+  infrastructure, sticky/reputation/caches) plus construction;
+* :mod:`repro.core.lifecycle` — joins, sticky reuse, the §3.2.2
+  migration ladder, supernode removal;
+* :mod:`repro.core.scoring` — per-session QoS (batch + scalar
+  reference paths, pinned bit-identical);
+* :mod:`repro.core.accounting` — result containers, load timelines,
+  Eq.-2 bandwidth / egress budgets, day summaries, credits;
+* :mod:`repro.faults.handlers` — what each scheduled fault does to a
+  live sweep;
+* :mod:`repro.core.sweep` — the day/subcycle orchestrator running the
+  explicit stage tuple (departures → faults → arrivals) per subcycle.
 
-Weekly, players are (re-)assigned to datacenter servers — randomly or
-socially (§3.4).  Per provisioning window the live supernode set is
-either fixed (CloudFog/B) or forecast-driven (§3.5).
+:class:`CloudFogSystem` survives as a thin façade over that pipeline:
+it owns one ``SimState`` and delegates every call, keeping the public
+construction-and-run API (and the private attribute names experiment
+and test code grew around) stable.  Every moved name still imports
+from here through a :func:`__getattr__` shim that raises a
+:class:`DeprecationWarning` pointing at the new home.
 
-Latency semantics (documented in DESIGN.md): a game's Table-2 latency
-requirement is the *delivery deadline* of each video packet — packet
-delay = downstream path latency + serialisation + server-interaction
-latency; continuity and satisfaction are judged against it (§4.1's
-"packets arrived within the required response latency").  The *response
-latency* metric of Fig. 7 is the full action-to-photon path: upstream
-action leg + packet delivery + the fixed 20 ms playout/processing share.
-
-Randomness is split into named per-day streams (plans, games, throttle,
-selection, QoS) so that two systems with the same seed see *identical*
-workloads — baseline comparisons are paired.
+Latency/randomness semantics are unchanged and documented in
+DESIGN.md §10 and the stage modules' docstrings; outputs are pinned
+bit-identical to the pre-split engine by the golden digests in
+``tests/faults``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field, replace
+import warnings
 
 import numpy as np
 
-from .. import obs
-from ..cloud.datacenter import Datacenter
-from ..cloud.gamestate import UPDATE_MESSAGE_BITS_PER_SUPERNODE
-from ..economics.ledger import CreditLedger
-from ..faults import FaultSummary, build_injector
-from ..faults.plan import FaultEvent
-from ..network.bandwidth import BandwidthModel
-from ..network.latency import PLAYOUT_PROCESSING_MS
-from ..network.transport import PathSpec, TransportModel
-from ..obs.metrics import DEFAULT_RECOVERY_BUCKETS_MS
-from ..reputation.ratings import RatingLedger
-from ..reputation.scores import ReputationTable
-from ..sim.rng import RngFactory
-from ..streaming.compression import LIVERENDER_LIKE
-from ..streaming.continuity import is_satisfied, satisfied_ratio
-from ..streaming.session import (
-    SessionConfig,
-    estimate_continuity,
-    estimate_continuity_batch,
-)
-from ..workload.churn import (
-    DurationMixture,
-    PlayerDayPlan,
-    StartTimeModel,
-    sample_day_plans,
-)
-from ..workload.games import Game, random_game
-from ..workload.population import Population, build_population, choose_game
-from .candidates import CandidateManager
+from ..faults import handlers
+from ..workload.population import Population
+from . import accounting, lifecycle, scoring, sweep
+from . import state as simstate
 from .config import SystemConfig
-from .entities import ConnectionKind, Supernode
-from .provisioning import Provisioner
-from .selection import SupernodeDirectory, delay_threshold_ms, select_supernode
-from .server_assignment import assign_players_randomly, assign_players_socially
+from .state import SimState
 
-__all__ = ["SessionRecord", "DayMetrics", "RunResult", "SweepLoads",
-           "MigrationOutcome", "CloudFogSystem"]
+__all__ = ["FAILURE_DETECTION_MS", "CloudFogSystem", "SessionRecord",
+           "DayMetrics", "RunResult", "SweepLoads", "MigrationOutcome"]
 
 #: Legacy fixed failure-detection timeout (§3.2.2); dominates the
 #: ~0.8 s migration latency.  Kept as the documented expectation of the
@@ -86,1447 +54,231 @@ __all__ = ["SessionRecord", "DayMetrics", "RunResult", "SweepLoads",
 #: ``detection_latency_ms`` draws the actual phase-dependent latency.
 FAILURE_DETECTION_MS = 500.0
 
-#: Cloud egress budget per datacenter for direct video streaming
-#: (Mbit/s).  Sized for the reduced-scale populations the benches run
-#: (thousands of players): past it the cloud's links congest, which is
-#: the mechanism behind the baselines' degradation as players grow
-#: (Figs. 7-8).  Scale it together with num_players for larger runs.
-DEFAULT_DC_EGRESS_MBPS = 150.0
-
-#: Headroom factor on the per-stream egress share the cloud/CDN
-#: provisions for one flow.  Cloud-gaming egress is the dominant cost
-#: (§1: ~$300k/month at 27 TB/12h), so providers provision per-stream
-#: shares tightly — the stream's bitrate plus modest headroom.
-CLOUD_FLOW_HEADROOM = 1.25
-
-#: Floor on the per-stream share (Mbit/s), so low-bitrate games still
-#: get a usable slice.
-CLOUD_FLOW_SHARE_FLOOR_MBPS = 0.5
-
-#: Coordination penalty when CDN sites cooperate on game state (§4.2:
-#: "the servers need to cooperate with each other to compute new game
-#: status").  Unlike intra-datacenter server hops this crosses the WAN
-#: between edge sites, which is what keeps CDN's latency improvement
-#: modest in the paper.
-CDN_COORDINATION_MS = 35.0
-
-#: Upload provisioned per supernode player slot (Mbit/s): enough for the
-#: top Table-2 level on one stream plus headroom across slots.
-SUPERNODE_MBPS_PER_SLOT = 3.0
+#: Names that used to be defined here, with their new home module.
+#: Imported through :func:`__getattr__` below with a deprecation
+#: warning so downstream code keeps working while it migrates.
+_MOVED = {
+    "SessionRecord": (accounting, "SessionRecord"),
+    "DayMetrics": (accounting, "DayMetrics"),
+    "RunResult": (accounting, "RunResult"),
+    "SweepLoads": (accounting, "SweepLoads"),
+    "DEFAULT_DC_EGRESS_MBPS": (accounting, "DEFAULT_DC_EGRESS_MBPS"),
+    "CLOUD_FLOW_HEADROOM": (accounting, "CLOUD_FLOW_HEADROOM"),
+    "CLOUD_FLOW_SHARE_FLOOR_MBPS": (accounting,
+                                    "CLOUD_FLOW_SHARE_FLOOR_MBPS"),
+    "MigrationOutcome": (lifecycle, "MigrationOutcome"),
+    "CDN_COORDINATION_MS": (scoring, "CDN_COORDINATION_MS"),
+    "SUPERNODE_MBPS_PER_SLOT": (simstate, "SUPERNODE_MBPS_PER_SLOT"),
+    "_Session": (simstate, "Session"),
+}
 
 
-@dataclass(frozen=True)
-class SessionRecord:
-    """QoS outcome of one player-day session."""
-
-    player: int
-    day: int
-    game: str
-    kind: ConnectionKind
-    target: int
-    response_latency_ms: float
-    server_latency_ms: float
-    continuity: float
-    satisfied: bool
-    join_latency_ms: float | None  # None when the sticky connection held
+def __getattr__(name: str):
+    moved = _MOVED.get(name)
+    if moved is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    module, attr = moved
+    warnings.warn(
+        f"repro.core.system.{name} moved to {module.__name__}.{attr}; "
+        f"import it from there",
+        DeprecationWarning, stacklevel=2)
+    return getattr(module, attr)
 
 
-@dataclass
-class DayMetrics:
-    """Aggregates of one measured day."""
+#: SimState attributes mirrored 1:1 on the façade (read and write).
+_STATE_ATTRS = (
+    "config", "rng_factory", "supernode_join_latencies_ms", "population",
+    "topology", "transport", "use_batch_scoring", "faults",
+    "failure_detector", "retry_policy", "fault_outcomes", "compression",
+    "credits", "ledger", "reputation", "datacenters", "supernode_pool",
+    "live_supernodes", "directory", "cdn_coords", "cdn_access",
+    "provisioner", "candidates", "daily_participants",
+)
 
-    day: int
-    online_players: int = 0
-    supernode_players: int = 0
-    cloud_players: int = 0
-    cloud_bandwidth_mbps: float = 0.0
-    mean_response_latency_ms: float = 0.0
-    mean_server_latency_ms: float = 0.0
-    mean_continuity: float = 0.0
-    satisfied_ratio: float = 0.0
-
-
-@dataclass
-class RunResult:
-    """Everything a run produced (measured days only)."""
-
-    days: list[DayMetrics] = field(default_factory=list)
-    sessions: list[SessionRecord] = field(default_factory=list)
-    join_latencies_ms: list[float] = field(default_factory=list)
-    supernode_join_latencies_ms: list[float] = field(default_factory=list)
-    migration_latencies_ms: list[float] = field(default_factory=list)
-    assignment_wall_times_s: list[float] = field(default_factory=list)
-    #: Fault accounting of the run (all zeros without a FaultPlan).
-    #: The conservation invariant ``displaced == recovered + degraded
-    #: + dropped`` holds at every instant of the run.
-    faults: FaultSummary = field(default_factory=FaultSummary)
-    #: One-pass aggregate cache over ``days``; rebuilt when days grow.
-    _aggregate_cache: dict | None = field(default=None, init=False,
-                                          repr=False, compare=False)
-
-    def _measured(self) -> list[DayMetrics]:
-        if not self.days:
-            raise ValueError("the run produced no measured days")
-        return self.days
-
-    def _aggregate(self) -> dict:
-        """Per-day metric columns gathered in one pass and cached.
-
-        The mean properties used to rebuild a fresh list per property
-        access; the sweep code reads several of them per run, so the
-        columns are collected once and invalidated by day count.
-        """
-        days = self._measured()
-        cache = self._aggregate_cache
-        if cache is not None and cache["num_days"] == len(days):
-            return cache
-        columns: dict[str, list] = {
-            "online_players": [], "supernode_players": [],
-            "cloud_bandwidth_mbps": [], "mean_response_latency_ms": [],
-            "mean_server_latency_ms": [], "mean_continuity": [],
-            "satisfied_ratio": [],
-        }
-        for day in days:
-            for name, values in columns.items():
-                values.append(getattr(day, name))
-        cache = {name: float(np.mean(values))
-                 for name, values in columns.items()}
-        cache["num_days"] = len(days)
-        cache["online_total"] = sum(columns["online_players"])
-        cache["supernode_total"] = sum(columns["supernode_players"])
-        self._aggregate_cache = cache
-        return cache
-
-    @property
-    def mean_response_latency_ms(self) -> float:
-        return self._aggregate()["mean_response_latency_ms"]
-
-    @property
-    def mean_server_latency_ms(self) -> float:
-        return self._aggregate()["mean_server_latency_ms"]
-
-    @property
-    def mean_continuity(self) -> float:
-        return self._aggregate()["mean_continuity"]
-
-    @property
-    def mean_satisfied_ratio(self) -> float:
-        return self._aggregate()["satisfied_ratio"]
-
-    @property
-    def mean_cloud_bandwidth_mbps(self) -> float:
-        return self._aggregate()["cloud_bandwidth_mbps"]
-
-    @property
-    def supernode_coverage(self) -> float:
-        """Share of online players served by supernodes."""
-        aggregate = self._aggregate()
-        if aggregate["online_total"] == 0:
-            return 0.0
-        return aggregate["supernode_total"] / aggregate["online_total"]
-
-    def summary_table(self):
-        """The headline metrics as a printable ResultTable."""
-        from ..metrics.tables import ResultTable
-
-        aggregate = self._aggregate()
-        table = ResultTable("Run summary (measured days)",
-                            ["metric", "value"])
-        table.add_row("measured days", aggregate["num_days"])
-        table.add_row("mean online players", aggregate["online_players"])
-        table.add_row("supernode coverage", self.supernode_coverage)
-        table.add_row("mean response latency (ms)",
-                      self.mean_response_latency_ms)
-        table.add_row("mean continuity", self.mean_continuity)
-        table.add_row("satisfied ratio", self.mean_satisfied_ratio)
-        table.add_row("cloud bandwidth (Mbit/s)",
-                      self.mean_cloud_bandwidth_mbps)
-        return table
+#: Historical private façade names → their public SimState attribute.
+#: Tests and experiment helpers reach into these, so they stay live.
+_STATE_ALIASES = {
+    "_sticky": "sticky",
+    "_games": "games",
+    "_live_ids": "live_ids",
+    "_nearest_dc": "nearest_dc",
+    "_server_latency_cache": "server_latency_cache",
+    "_current_day": "current_day",
+    "_deployed_count": "deployed_count",
+    "_weekly_weights": "weekly_weights",
+    "_duration_mixture": "duration_mixture",
+    "_start_times": "start_times",
+}
 
 
-@dataclass
-class SweepLoads:
-    """Per-supernode load timelines of one day as dense 2-D arrays.
+def _state_property(attr: str) -> property:
+    def fget(self):
+        return getattr(self._state, attr)
 
-    Row ``i`` belongs to live supernode ``ids[i]``; columns are the
-    ``hours + 2`` subcycle slots the sweep indexes (slot 0 unused, the
-    trailing slot absorbs sessions running through the last subcycle).
-    Replaces the former per-supernode dict-of-arrays so the batch
-    scorer can gather load statistics without dict churn.
-    """
+    def fset(self, value):
+        setattr(self._state, attr, value)
 
-    ids: tuple[int, ...]
-    counts: np.ndarray  # (num_live, hours + 2) concurrent players
-    rates: np.ndarray   # (num_live, hours + 2) committed stream Mbit/s
-    _rows: dict[int, int] = field(repr=False)
-
-    @classmethod
-    def for_supernodes(cls, supernodes: list[Supernode],
-                       hours: int) -> "SweepLoads":
-        ids = tuple(sn.supernode_id for sn in supernodes)
-        shape = (len(ids), hours + 2)
-        return cls(ids=ids, counts=np.zeros(shape), rates=np.zeros(shape),
-                   _rows={sn_id: row for row, sn_id in enumerate(ids)})
-
-    def row(self, supernode_id: int) -> int | None:
-        """Row index of a live supernode (None when not deployed)."""
-        return self._rows.get(supernode_id)
-
-
-@dataclass
-class _Session:
-    """Internal per-day session bookkeeping."""
-
-    plan: PlayerDayPlan
-    kind: ConnectionKind
-    supernode_id: int | None
-    downstream_one_way_ms: float
-    upstream_one_way_ms: float
-    join_latency_ms: float | None
-
-
-@dataclass(frozen=True)
-class MigrationOutcome:
-    """Result of one displaced player's walk down the reconnect ladder.
-
-    ``attempts`` counts the §3.2 selection rounds consumed (0 when the
-    player's own candidate list served the reconnect); ``via`` names the
-    rung that ended the walk: ``"candidates"``, ``"selection"`` or
-    ``"cloud"`` (graceful degradation to direct streaming,
-    ``supernode_id`` None).  ``latency_ms`` excludes failure detection —
-    the caller adds the detector's latency on top.
-    """
-
-    latency_ms: float
-    supernode_id: int | None
-    attempts: int
-    via: str
+    return property(fget, fset, doc=f"Delegates to ``SimState.{attr}``.")
 
 
 class CloudFogSystem:
-    """One deployed gaming system (CloudFog, Cloud or CDN)."""
+    """One deployed gaming system (CloudFog, Cloud or CDN).
+
+    A façade: construction builds a :class:`SimState`, every method
+    delegates to the stage modules.  No stage logic lives here.
+    """
+
+    #: Per-packet sample count / modelled session length of the fast
+    #: session estimate (legacy aliases of the ``core.scoring`` knobs).
+    _QOS_SAMPLES = scoring.QOS_SAMPLES
+    _QOS_DURATION_S = scoring.QOS_DURATION_S
 
     def __init__(self, config: SystemConfig,
                  population: Population | None = None) -> None:
-        self.config = config
-        self._log = obs.get_logger(__name__)
-        self.rng_factory = RngFactory(config.seed)
-        self.supernode_join_latencies_ms: list[float] = []
-        rng = self.rng_factory.stream("population")
-        self.population = population or build_population(
-            rng, config.num_players, config.num_datacenters,
-            config.supernode_capable_share)
-        self.topology = self.population.topology
-        self.transport = TransportModel()
-        #: Batch (vectorised) session scoring.  The scalar reference
-        #: loop stays available behind this switch for the paired
-        #: equivalence tests and the benchmark harness.
-        self.use_batch_scoring = True
+        self._state = SimState(config, population)
 
-        # Fault injection (repro.faults).  Without a FaultPlan this is
-        # the shared no-op injector: no RNG stream is created, no hook
-        # fires, and every output stays bit-identical to a system built
-        # before the subsystem existed (pinned by tests/faults).
-        self.faults = build_injector(config.fault_plan)
-        self.failure_detector = self.faults.detector
-        self.retry_policy = self.faults.retry
-        if (config.fault_plan is not None
-                and config.fault_plan.ambient_loss_boost > 0.0):
-            self.transport = self.transport.degraded(
-                config.fault_plan.ambient_loss_boost)
-        #: Accounting for out-of-band :meth:`fail_supernodes` calls
-        #: (in-run injection accounts into ``RunResult.faults`` instead).
-        self.fault_outcomes = FaultSummary()
-        self._current_day = 0
-        self._deployed_count = 0
+    @property
+    def state(self) -> SimState:
+        """The underlying shared simulation state."""
+        return self._state
 
-        # LiveRender-style compression on direct cloud flows (§2).
-        self.compression = (LIVERENDER_LIKE if config.cloud_compression
-                            else None)
+    # -- public API ----------------------------------------------------
+    def run(self, days: int | None = None) -> accounting.RunResult:
+        """Run the configured schedule and return measured-day results."""
+        return sweep.run_schedule(self._state, days)
 
-        # Contributor credit accounting (§3.1.1 incentives).
-        self.credits = CreditLedger()
-
-        # Reputation state.  Unrated supernodes get an optimistic prior
-        # near an honest supernode's typical continuity, so players keep
-        # exploring (see ReputationTable's docstring / DESIGN.md).
-        self.ledger = RatingLedger()
-        self.reputation = ReputationTable(self.ledger, config.aging_factor,
-                                          neutral_prior=0.9)
-
-        # Game-state datacenters (server latency substrate).
-        self.datacenters = [
-            Datacenter(i, num_servers=config.servers_per_datacenter)
-            for i in range(config.num_datacenters)]
-        self._nearest_dc = np.argmin(
-            self.topology.player_datacenter_distances(), axis=1)
-
-        # Infrastructure by mode.
-        self.supernode_pool: list[Supernode] = []
-        self.live_supernodes: list[Supernode] = []
-        self.directory: SupernodeDirectory | None = None
-        self.cdn_coords = np.empty((0, 2))
-        self.cdn_access = np.empty(0)
-        self._live_ids: set[int] = set()
-        if config.mode == "cloudfog":
-            self._build_supernode_pool()
-            count = min(config.num_supernodes, len(self.supernode_pool))
-            self._deploy(self.supernode_pool[:count])
-        elif config.mode == "cdn":
-            self._build_cdn_sites()
-
-        # Provisioner (dynamic provisioning strategy only).
-        self.provisioner: Provisioner | None = None
-        if (config.mode == "cloudfog"
-                and config.strategies.dynamic_provisioning
-                and self.supernode_pool):
-            mean_capacity = float(np.mean(
-                [sn.capacity for sn in self.supernode_pool]))
-            self.provisioner = Provisioner(
-                average_capacity=mean_capacity,
-                epsilon=config.provisioning_epsilon,
-                window_hours=config.provisioning_window_hours)
-
-        #: Day-of-week participation weights (set by set_arrival_rates).
-        self._weekly_weights = None
-
-        # Churn state (§3.2.2): per-player candidate supernode lists
-        # plus the sticky last-used supernode.
-        self.candidates = CandidateManager(
-            max_entries=config.candidate_count)
-        self._sticky: dict[int, int] = {}
-        self._games: dict[int, Game] = {}
-        self._duration_mixture = DurationMixture()
-        self._start_times = StartTimeModel()
-        #: Optional override of daily participants (provisioning sweeps).
-        self.daily_participants: int | None = None
-        self._server_latency_cache: dict[int, float] = {}
+    def run_day(self, day: int, result: accounting.RunResult,
+                measuring: bool) -> None:
+        sweep.run_day(self._state, day, result, measuring)
 
     def set_arrival_rates(self, offpeak_per_min: float,
                           peak_per_min: float) -> None:
-        """Drive daily participation from arrival rates (Figs. 13-15).
-
-        Off-peak joiners arrive over 19 subcycles, peak joiners over 5;
-        the start-time split follows from the two rates.
-        """
-        if offpeak_per_min < 0 or peak_per_min < 0:
-            raise ValueError("arrival rates must be non-negative")
-        offpeak_total = offpeak_per_min * 60.0 * 19.0
-        peak_total = peak_per_min * 60.0 * 5.0
-        total = offpeak_total + peak_total
-        if total <= 0:
-            raise ValueError("at least one arrival rate must be positive")
-        self.daily_participants = int(round(total))
-        self._start_times = StartTimeModel(
-            offpeak_share=offpeak_total / total)
-        # Arrival-driven participation follows the weekly pattern the
-        # paper's forecasting premise rests on ([36, 37]): weekends run
-        # hotter, midweek cooler.
-        from ..forecast.diurnal import DiurnalPattern
-        self._weekly_weights = DiurnalPattern().daily_weights
-
-    # ------------------------------------------------------------------
-    # infrastructure construction
-    # ------------------------------------------------------------------
-    def _build_supernode_pool(self) -> None:
-        """Create supernode entities for the qualified capable players.
-
-        §3.1.1: "The nodes with sufficient hardware are chosen as
-        supernodes" — a contributor's GPU must render several streams
-        at once (integrated graphics do not qualify), and the player
-        capacity is the tighter of the bandwidth-derived Pareto draw
-        and the machine's render budget.  Capacity overrides (the
-        Fig. 10/11 sweeps) bypass the render limit by design.
-        """
-        from ..rendering.capability import RenderCapability, sample_gpu_tiers
-
-        rng = self.rng_factory.stream("supernodes")
-        model = BandwidthModel()
-        capable = self.population.capable_players()
-        hosts = capable[rng.permutation(len(capable))]
-        tiers = sample_gpu_tiers(rng, len(hosts))
-        if self.config.supernode_capacity_override is not None:
-            capacities = np.full(len(hosts),
-                                 self.config.supernode_capacity_override,
-                                 dtype=np.int64)
-        else:
-            capacities = model.sample_supernode_capacities(rng, len(hosts))
-        sn_id = 0
-        for host, capacity, tier in zip(hosts, capacities, tiers):
-            host = int(host)
-            render = RenderCapability(tier)
-            if self.config.supernode_capacity_override is None:
-                if not render.meets_supernode_requirement():
-                    continue
-                capacity = min(int(capacity), render.render_capacity())
-            # Supernodes have superior connections (§3.1.1): access delay
-            # is the better of the host's last mile and a business line.
-            access = float(min(self.topology.player_access_ms[host], 8.0))
-            upload = (self.config.supernode_upload_override_mbps
-                      if self.config.supernode_upload_override_mbps is not None
-                      else float(capacity) * SUPERNODE_MBPS_PER_SLOT)
-            self.supernode_pool.append(Supernode(
-                supernode_id=sn_id,
-                host_player=host,
-                capacity=int(capacity),
-                upload_mbps=float(upload),
-                access_ms=access,
-                x_km=float(self.topology.player_coords[host, 0]),
-                y_km=float(self.topology.player_coords[host, 1]),
-                gpu_tier=tier,
-            ))
-            sn_id += 1
-        # Designate the §4.1 throttling classes over the whole pool.
-        n = len(self.supernode_pool)
-        n80 = int(n * self.config.throttle_80_share)
-        n50 = int(n * self.config.throttle_50_share)
-        marked = rng.permutation(n)
-        for index in marked[:n80]:
-            self.supernode_pool[int(index)].throttle_class = 0.8
-        for index in marked[n80:n80 + n50]:
-            self.supernode_pool[int(index)].throttle_class = 0.5
-
-    def _deploy(self, supernodes: list[Supernode]) -> None:
-        """Set the live supernode set and rebuild the cloud's table."""
-        obs.get_registry().gauge("repro_live_supernodes").set(
-            len(supernodes))
-        self._deployed_count = len(supernodes)
-        live_ids = {sn.supernode_id for sn in supernodes}
-        for sn in self.supernode_pool:
-            sn.online = sn.supernode_id in live_ids
-        self.live_supernodes = list(supernodes)
-        self._live_ids = live_ids
-        if self.directory is None:
-            self.directory = SupernodeDirectory(self.topology,
-                                                self.live_supernodes)
-        else:
-            self.directory.rebuild(self.live_supernodes)
-        # Supernode join latency: one RTT to the cloud + registration.
-        for sn in supernodes:
-            rtt = 2.0 * self.topology.nearest_datacenter_one_way_ms(
-                sn.host_player)
-            self.supernode_join_latencies_ms.append(rtt + 20.0)
-
-    def _build_cdn_sites(self) -> None:
-        """CDN baseline: k edge sites at random player locations."""
-        rng = self.rng_factory.stream("cdn")
-        count = min(self.config.num_cdn_servers, self.topology.num_players)
-        picks = rng.choice(self.topology.num_players, size=count,
-                           replace=False)
-        self.cdn_coords = self.topology.player_coords[picks].copy()
-        self.cdn_access = np.full(count, 3.0)
-
-    # ------------------------------------------------------------------
-    # public API
-    # ------------------------------------------------------------------
-    def run(self, days: int | None = None) -> RunResult:
-        """Run the configured schedule and return measured-day results.
-
-        Execution goes through the PeerSim-style
-        :class:`~repro.sim.cycles.CycleScheduler`: each cycle (day)
-        fires as a day-start hook — exactly the paper's cycle-driven
-        execution model.  Short runs always measure at least the final
-        day.
-        """
-        from ..sim.cycles import CycleScheduler, Schedule
-
-        schedule = self.config.schedule
-        total_days = schedule.days if days is None else days
-        if total_days <= 0:
-            raise ValueError(f"days must be positive, got {total_days}")
-        result = RunResult()
-        result.supernode_join_latencies_ms = list(
-            self.supernode_join_latencies_ms)
-        warmup = min(schedule.warmup_days, max(0, total_days - 1))
-
-        driver = CycleScheduler(schedule=Schedule(
-            days=total_days,
-            hours_per_day=schedule.hours_per_day,
-            warmup_days=warmup,
-            peak_subcycles=schedule.peak_subcycles))
-        driver.on_day_start(
-            lambda day: self.run_day(day, result, measuring=day >= warmup))
-        driver.run()
-        return result
-
-    # ------------------------------------------------------------------
-    # one day
-    # ------------------------------------------------------------------
-    def run_day(self, day: int, result: RunResult, measuring: bool) -> None:
-        config = self.config
-        tracer = obs.get_tracer()
-        registry = obs.get_registry()
-        day_span = tracer.span("run_day", day=day, measuring=measuring,
-                               mode=config.mode)
-        self._current_day = day
-        with day_span:
-            # (1) Throttle re-roll (its own stream: no workload shift).
-            throttle_rng = self.rng_factory.stream(f"throttle-{day}")
-            for sn in self.supernode_pool:
-                sn.roll_throttle(throttle_rng, config.throttle_probability)
-
-            # (Weekly) server assignment.
-            if day % 7 == 0:
-                with tracer.span("server_assignment", day=day):
-                    self._run_server_assignment(
-                        self.rng_factory.stream(f"assignment-{day}"), result)
-
-            # (2) Day plans and social game choice (paired across systems).
-            with tracer.span("day_plans", day=day):
-                plans = self._sample_plans(
-                    self.rng_factory.stream(f"plans-{day}"), day=day)
-                self._choose_games(plans,
-                                   self.rng_factory.stream(f"games-{day}"))
-
-            # (3) Subcycle sweep.
-            selection_rng = self.rng_factory.stream(f"selection-{day}")
-            with tracer.span("sweep_day", day=day, plans=len(plans)):
-                sessions, loads, cloud_rate = \
-                    self._sweep_day(plans, selection_rng, result, measuring,
-                                    day=day)
-
-            # (4)+(5) Per-session QoS and ratings.
-            qos_rng = self.rng_factory.stream(f"qos-{day}")
-            records = self._score_sessions(day, sessions, loads,
-                                           cloud_rate, qos_rng)
-            with tracer.span("ratings", day=day):
-                for record in records:
-                    if record.kind is ConnectionKind.SUPERNODE:
-                        self.ledger.add(record.player, record.target,
-                                        record.continuity, day)
-                for player in {r.player for r in records
-                               if r.kind is ConnectionKind.SUPERNODE}:
-                    self.reputation.refresh(player, today=day)
-
-            # (5b) Credit the contributors: one hour at rate r Mbit/s is
-            # r * 0.45 GB; a live supernode is online the whole day.
-            for sn in self.live_supernodes:
-                row = loads.row(sn.supernode_id)
-                gb = (float(loads.rates[row, 1:25].sum()) * 0.45
-                      if row is not None else 0.0)
-                self.credits.record_day(sn.supernode_id, gb,
-                                        hours_online=24.0)
-
-            # (6) Provisioning windows.
-            if self.provisioner is not None:
-                self._run_provisioning(
-                    plans, self.rng_factory.stream(f"provision-{day}"))
-
-            for kind in ConnectionKind:
-                count = sum(1 for r in records if r.kind is kind)
-                if count:
-                    registry.counter("repro_sessions_total",
-                                     kind=kind.value).inc(count)
-            day_span.annotate(sessions=len(records))
-            self._log.debug("day done", extra=obs.kv(
-                day=day, measuring=measuring, sessions=len(records)))
-
-        if measuring and records:
-            metrics = DayMetrics(day=day)
-            metrics.online_players = len(records)
-            metrics.supernode_players = sum(
-                1 for r in records if r.kind is ConnectionKind.SUPERNODE)
-            metrics.cloud_players = sum(
-                1 for r in records if r.kind is ConnectionKind.CLOUD)
-            metrics.cloud_bandwidth_mbps = self._cloud_bandwidth(
-                cloud_rate, loads)
-            metrics.mean_response_latency_ms = float(np.mean(
-                [r.response_latency_ms for r in records]))
-            metrics.mean_server_latency_ms = float(np.mean(
-                [r.server_latency_ms for r in records]))
-            metrics.mean_continuity = float(np.mean(
-                [r.continuity for r in records]))
-            metrics.satisfied_ratio = satisfied_ratio(
-                [r.continuity for r in records])
-            result.days.append(metrics)
-            result.sessions.extend(records)
-
-    # -- plans / games -------------------------------------------------------
-    def _sample_plans(self, rng: np.random.Generator,
-                      day: int = 0) -> list[PlayerDayPlan]:
-        n = self.topology.num_players
-        if self.daily_participants is not None:
-            weight = 1.0
-            if getattr(self, "_weekly_weights", None) is not None:
-                weight = float(self._weekly_weights[day % 7])
-            count = min(n, int(round(self.daily_participants * weight)))
-            players = rng.choice(n, size=max(1, count), replace=False)
-        else:
-            players = np.arange(n)
-        return sample_day_plans(rng, players, self._duration_mixture,
-                                self._start_times)
-
-    def _choose_games(self, plans: list[PlayerDayPlan],
-                      rng: np.random.Generator) -> None:
-        self._games.clear()
-        for index in rng.permutation(len(plans)):
-            plan = plans[int(index)]
-            self._games[plan.player] = choose_game(
-                plan.player, self.population.friends, self._games, rng)
-
-    # -- the subcycle sweep ----------------------------------------------
-    def _sweep_day(self, plans, rng, result, measuring, day=0):
-        """Process joins/leaves hour by hour; build load timelines.
-
-        When a :class:`~repro.faults.FaultPlan` is configured, scheduled
-        faults fire between the subcycle's leaves and joins — sessions
-        already streaming experience the failure mid-day and walk the
-        §3.2.2 recovery ladder, while the subcycle's new joiners already
-        see the post-fault directory.  Fault handling draws only from a
-        dedicated ``faults-{day}`` stream, so a faulted run stays
-        pairable with its fault-free baseline.
-        """
-        hours = self.config.schedule.hours_per_day
-        starts: dict[int, list[PlayerDayPlan]] = {}
-        for plan in plans:
-            starts.setdefault(min(plan.start_subcycle, hours), []).append(plan)
-
-        sessions: dict[int, _Session] = {}
-        ends: dict[int, list[int]] = {}
-        loads = SweepLoads.for_supernodes(self.live_supernodes, hours)
-        counts, rates = loads.counts, loads.rates
-        cloud_rate = np.zeros(hours + 2)
-
-        fault_rng = None
-        if self.faults.active:
-            self.faults.start_day(day)
-            if self.faults.has_events_on(day):
-                fault_rng = self.rng_factory.stream(f"faults-{day}")
-
-        for subcycle in range(1, hours + 1):
-            for player in ends.pop(subcycle, []):
-                session = sessions.get(player)
-                if session is not None and session.supernode_id is not None:
-                    self.supernode_pool[session.supernode_id].disconnect(player)
-            if fault_rng is not None:
-                self._apply_faults(day, subcycle, sessions, loads,
-                                   cloud_rate, fault_rng, result, measuring,
-                                   hours)
-            for plan in starts.pop(subcycle, []):
-                session = self._join(plan, rng)
-                sessions[plan.player] = session
-                end = min(hours,
-                          subcycle + int(np.ceil(plan.duration_hours)) - 1)
-                ends.setdefault(end + 1, []).append(plan.player)
-                game = self._games[plan.player]
-                span = slice(subcycle, end + 1)
-                if session.supernode_id is not None:
-                    row = loads.row(session.supernode_id)
-                    counts[row, span] += 1
-                    rates[row, span] += game.stream_rate_mbps
-                elif session.kind is ConnectionKind.CLOUD:
-                    rate = game.stream_rate_mbps
-                    if self.compression is not None:
-                        rate = self.compression.compressed_mbps(rate)
-                    cloud_rate[span] += rate
-                if measuring and session.join_latency_ms is not None:
-                    result.join_latencies_ms.append(session.join_latency_ms)
-        # Disconnect everything at day end (cycles do not wrap, §4.1).
-        for player, session in sessions.items():
-            if session.supernode_id is not None:
-                self.supernode_pool[session.supernode_id].disconnect(player)
-        return sessions, loads, cloud_rate
-
-    def _join(self, plan: PlayerDayPlan, rng: np.random.Generator) -> _Session:
-        """Connect one starting session to its video source.
-
-        Joins happen thousands of times per simulated day, so they are
-        counted (by connection kind, sticky reuse, join latency
-        histogram) rather than individually spanned — the enclosing
-        ``sweep_day`` span carries their aggregate wall clock.
-        """
-        session = self._join_inner(plan, rng)
-        registry = obs.get_registry()
-        registry.counter("repro_joins_total", kind=session.kind.value).inc()
-        if session.join_latency_ms is not None:
-            registry.histogram("repro_join_latency_ms").observe(
-                session.join_latency_ms)
-        elif session.kind is ConnectionKind.SUPERNODE:
-            registry.counter("repro_sticky_joins_total").inc()
-        return session
-
-    def _join_inner(self, plan: PlayerDayPlan,
-                    rng: np.random.Generator) -> _Session:
-        player = plan.player
-        game = self._games[player]
-
-        if self.config.mode == "cdn":
-            return self._join_cdn(plan, game)
-        if (self.config.mode != "cloudfog" or self.directory is None
-                or not self.live_supernodes):
-            upstream = self._cloud_one_way_ms(player)
-            return _Session(plan, ConnectionKind.CLOUD, None, upstream,
-                            upstream, None)
-
-        upstream = self._cloud_one_way_ms(player)
-        l_max = delay_threshold_ms(game.latency_requirement_ms)
-
-        # Sticky connection: reuse yesterday's supernode when still valid.
-        # With reputation-based selection enabled, players re-select every
-        # session using their scores instead (§3.2.2) — otherwise a player
-        # would stay glued to a misbehaving supernode forever.
-        sticky_id = (None if self.config.strategies.reputation_selection
-                     else self._sticky.get(player))
-        if sticky_id is not None:
-            sn = self.supernode_pool[sticky_id]
-            if sn.online and sn.has_capacity:
-                delay = self._player_supernode_ms(player, sn)
-                if delay <= l_max:
-                    sn.connect(player)
-                    return _Session(plan, ConnectionKind.SUPERNODE, sticky_id,
-                                    delay, upstream, None)
-
-        reputation = (self.reputation
-                      if self.config.strategies.reputation_selection else None)
-        outcome = select_supernode(
-            player, self.directory, l_max, rng, reputation=reputation,
-            candidate_count=self.config.candidate_count,
-            cloud_rtt_ms=2.0 * upstream)
-        if outcome.qualified:
-            self.candidates.remember(player, list(outcome.qualified))
-        if outcome.supernode_id is not None:
-            self._sticky[player] = outcome.supernode_id
-            return _Session(plan, ConnectionKind.SUPERNODE,
-                            outcome.supernode_id,
-                            outcome.downstream_one_way_ms, upstream,
-                            outcome.join_latency_ms)
-        return _Session(plan, ConnectionKind.CLOUD, None, upstream, upstream,
-                        outcome.join_latency_ms)
-
-    def _join_cdn(self, plan: PlayerDayPlan, game: Game) -> _Session:
-        """CDN baseline: the nearest edge site serves everything if it
-        meets the game's delivery deadline; otherwise fall back to the
-        cloud (the CDN's user-coverage limit)."""
-        player = plan.player
-        delays = self.topology.players_to_points_one_way_ms(
-            np.array([player]), self.cdn_coords, self.cdn_access)[0]
-        site = int(np.argmin(delays))
-        site_delay = float(delays[site])
-        l_max = delay_threshold_ms(game.latency_requirement_ms)
-        if 2.0 * site_delay <= l_max:
-            return _Session(plan, ConnectionKind.CDN, None, site_delay,
-                            site_delay, None)
-        upstream = self._cloud_one_way_ms(player)
-        return _Session(plan, ConnectionKind.CLOUD, None, upstream, upstream,
-                        None)
-
-    # -- latency helpers ---------------------------------------------------
-    def _cloud_one_way_ms(self, player: int) -> float:
-        return self.topology.nearest_datacenter_one_way_ms(player)
-
-    def _player_supernode_ms(self, player: int, sn: Supernode) -> float:
-        distance = float(np.hypot(
-            self.topology.player_coords[player, 0] - sn.x_km,
-            self.topology.player_coords[player, 1] - sn.y_km))
-        return float(self.topology.latency_model.one_way_ms(
-            distance, self.topology.player_access_ms[player], sn.access_ms))
-
-    # -- session scoring -----------------------------------------------------
-    #: Per-packet sample count of the fast session estimate.
-    _QOS_SAMPLES = 64
-    #: Modelled session length (seconds) fed to the estimate.
-    _QOS_DURATION_S = 60.0
-
-    def _score_sessions(self, day, sessions, loads, cloud_rate,
-                        rng) -> list[SessionRecord]:
-        with obs.get_tracer().span("score_sessions", day=day,
-                                   sessions=len(sessions),
-                                   batch=self.use_batch_scoring):
-            if self.use_batch_scoring:
-                records = self._score_sessions_inner(day, sessions, loads,
-                                                     cloud_rate, rng)
-            else:
-                records = self._score_sessions_scalar(day, sessions, loads,
-                                                      cloud_rate, rng)
-            if self.faults.active and self.faults.penalties:
-                records = self._apply_fault_penalties(records)
-            return records
-
-    def _apply_fault_penalties(self,
-                               records: list[SessionRecord]
-                               ) -> list[SessionRecord]:
-        """Fold the day's fault penalties into the scored records.
-
-        Penalties accumulate per player during the sweep (stream
-        interruption while recovering, lost update messages) as a
-        continuity fraction lost; they apply *after* scoring so the
-        batch and scalar scorers stay bit-identical to each other and
-        the RNG consumption of the scoring path never shifts.
-        """
-        penalties = self.faults.penalties
-        out = []
-        for record in records:
-            fraction = penalties.get(record.player)
-            if not fraction:
-                out.append(record)
-                continue
-            continuity = max(0.0, record.continuity * (1.0 - fraction))
-            out.append(replace(record, continuity=continuity,
-                               satisfied=is_satisfied(continuity)))
-        return out
-
-    def _gather_session_params(self, sessions, loads, cloud_rate):
-        """Per-session scoring inputs as parallel arrays.
-
-        The per-session arithmetic (load means, utilisation, per-flow
-        shares) runs on plain Python floats in session order — exactly
-        the scalar reference loop — so the batch scorer receives
-        bit-identical inputs.  Per-window utilisation and share values
-        are memoised per ``(target, start, end)`` key: the repeated
-        value is the scalar loop's own arithmetic computed once, not a
-        re-derivation, so the memo cannot change a bit.  Continuity deadline semantics: the
-        game's Table-2 requirement applies to packet delivery on the
-        downstream path (upstream 0, processing = encode only); server
-        interaction pipelines with rendering, so it affects only the
-        response metric.
-        """
-        hours = self.config.schedule.hours_per_day
-        budget = self._cloud_egress_budget()
-        download = self.topology.player_links.download_mbps
-        games = self._games
-        pool = self.supernode_pool
-        nearest_dc = self._nearest_dc
-        counts_mat, rates_mat = loads.counts, loads.rates
-        row_of = loads.row
-        server_cache = self._server_latency_cache
-        default_hop_ms = self.datacenters[0].hop_ms
-        encode_cloud_ms = (self.compression.encode_latency_ms
-                           if self.compression is not None else 0.0)
-        load_stats: dict[tuple[int, int, int], tuple[float, float]] = {}
-        cloud_utils: dict[tuple[int, int], float] = {}
-        meta = []  # (player, session, game, target, server_latency_ms)
-        budgets: list[float] = []
-        path_lat: list[float] = []
-        senders: list[float] = []
-        receivers: list[float] = []
-        processing: list[float] = []
-        utils: list[float] = []
-        for player, session in sessions.items():
-            game = games[player]
-            plan = session.plan
-            start = min(plan.start_subcycle, hours)
-            end = min(hours, start + math.ceil(plan.duration_hours) - 1)
-
-            sid = session.supernode_id
-            if sid is not None:
-                key = (sid, start, end)
-                stats = load_stats.get(key)
-                if stats is None:
-                    row = row_of(sid)
-                    mean_count = max(
-                        1.0, float(counts_mat[row, start:end + 1].mean()))
-                    mean_rate = float(rates_mat[row, start:end + 1].mean())
-                    sn = pool[sid]
-                    effective_upload = sn.upload_mbps * sn.throttle
-                    stats = (min(2.0, mean_rate / effective_upload),
-                             max(0.05, effective_upload / mean_count))
-                    load_stats[key] = stats
-                utilization, sender_share = stats
-                encode_ms = 0.0
-                target = sid
-            else:
-                window = (start, end)
-                utilization = cloud_utils.get(window)
-                if utilization is None:
-                    concurrent = float(cloud_rate[start:end + 1].mean())
-                    utilization = min(2.0, concurrent / budget)
-                    cloud_utils[window] = utilization
-                # Always >= the 0.5 Mbps floor, so the scalar loop's
-                # max(0.05, share) clamp is a no-op here.
-                sender_share = max(CLOUD_FLOW_SHARE_FLOOR_MBPS,
-                                   CLOUD_FLOW_HEADROOM * game.stream_rate_mbps)
-                encode_ms = encode_cloud_ms
-                target = int(nearest_dc[player])
-
-            if session.kind is ConnectionKind.CDN:
-                server_latency = CDN_COORDINATION_MS
-            else:
-                server_latency = server_cache.get(player, default_hop_ms)
-            meta.append((player, session, game, target, server_latency))
-            budgets.append(game.latency_requirement_ms)
-            path_lat.append(session.downstream_one_way_ms)
-            senders.append(sender_share)
-            receivers.append(float(download[player]))
-            processing.append(encode_ms)
-            utils.append(utilization)
-        arrays = tuple(np.asarray(a, dtype=np.float64) for a in (
-            budgets, path_lat, senders, receivers, processing, utils))
-        return meta, arrays
-
-    def _score_sessions_inner(self, day, sessions, loads, cloud_rate,
-                              rng) -> list[SessionRecord]:
-        """Batch scorer: one vectorised QoS evaluation for the day.
-
-        Bit-identical to :meth:`_score_sessions_scalar` for the same
-        RNG stream (pinned by tests): parameters are gathered with the
-        scalar loop's own arithmetic and the batched estimate draws the
-        identical random sequence.
-        """
-        if not sessions:
-            return []
-        meta, (budgets, path_lat, senders, receivers, processing, utils) = \
-            self._gather_session_params(sessions, loads, cloud_rate)
-        outcome = estimate_continuity_batch(
-            budgets, path_lat, senders, receivers,
-            np.zeros_like(budgets), processing, utils, rng,
-            duration_s=self._QOS_DURATION_S,
-            adaptive=self.config.strategies.rate_adaptation,
-            transport=self.transport, n_samples=self._QOS_SAMPLES)
-        # Element-wise float64 addition in the scalar loop's operand
-        # order, then one exact tolist() per column — identical bits to
-        # per-record Python-float arithmetic without 3 numpy scalar
-        # extractions per session.
-        upstreams = np.array([m[1].upstream_one_way_ms for m in meta])
-        server_lats = np.array([m[4] for m in meta])
-        responses = (upstreams + outcome.mean_response_latency_ms
-                     + server_lats + PLAYOUT_PROCESSING_MS).tolist()
-        continuity = outcome.continuity.tolist()
-        satisfied = outcome.satisfied.tolist()
-        records = []
-        for i, (player, session, game, target, server_latency) in \
-                enumerate(meta):
-            records.append(SessionRecord(
-                player=player, day=day, game=game.name, kind=session.kind,
-                target=target,
-                response_latency_ms=responses[i],
-                server_latency_ms=server_latency,
-                continuity=continuity[i],
-                satisfied=satisfied[i],
-                join_latency_ms=session.join_latency_ms,
-            ))
-        return records
-
-    def _score_sessions_scalar(self, day, sessions, loads, cloud_rate,
-                               rng) -> list[SessionRecord]:
-        """Scalar reference scorer: one estimate call per session.
-
-        Kept verbatim from the pre-batch implementation (adapted only
-        to read the dense :class:`SweepLoads` rows instead of the old
-        per-supernode dicts — same accumulated values).  It is the
-        ground truth the batch path is pinned against and the baseline
-        of the scoring benchmark, so it deliberately shares none of the
-        batch path's memoisation.
-        """
-        records = []
-        hours = self.config.schedule.hours_per_day
-        budget = self._cloud_egress_budget()
-        for player, session in sessions.items():
-            game = self._games[player]
-            plan = session.plan
-            start = min(plan.start_subcycle, hours)
-            end = min(hours, start + int(np.ceil(plan.duration_hours)) - 1)
-
-            if session.supernode_id is not None:
-                sn = self.supernode_pool[session.supernode_id]
-                row = loads.row(session.supernode_id)
-                counts = loads.counts[row, start:end + 1]
-                rates = loads.rates[row, start:end + 1]
-                mean_count = max(1.0, float(counts.mean()))
-                mean_rate = float(rates.mean())
-                effective_upload = sn.upload_mbps * sn.throttle
-                utilization = min(2.0, mean_rate / effective_upload)
-                share = effective_upload / mean_count
-                target = session.supernode_id
-            else:
-                concurrent = float(cloud_rate[start:end + 1].mean())
-                utilization = min(2.0, concurrent / budget)
-                share = max(CLOUD_FLOW_SHARE_FLOOR_MBPS,
-                            CLOUD_FLOW_HEADROOM * game.stream_rate_mbps)
-                target = int(self._nearest_dc[player])
-
-            server_latency = self._server_latency_ms(player, session.kind)
-            encode_ms = 0.0
-            if (self.compression is not None
-                    and session.supernode_id is None):
-                encode_ms = self.compression.encode_latency_ms
-            path = PathSpec(
-                one_way_latency_ms=session.downstream_one_way_ms,
-                sender_share_mbps=max(0.05, share),
-                receiver_download_mbps=float(
-                    self.topology.player_links.download_mbps[player]))
-            # Continuity deadline: the game's Table-2 requirement applied
-            # to packet delivery on the downstream path.  Server
-            # interaction pipelines with rendering, so it affects the
-            # response metric but not per-packet delivery.
-            session_config = SessionConfig(
-                response_budget_ms=game.latency_requirement_ms,
-                tolerance=game.tolerance,
-                path=path,
-                upstream_one_way_ms=0.0,
-                processing_ms=encode_ms,
-                sender_utilization=utilization,
-                duration_s=self._QOS_DURATION_S,
-                adaptive=self.config.strategies.rate_adaptation,
-            )
-            outcome = estimate_continuity(session_config, rng, self.transport,
-                                          n_samples=self._QOS_SAMPLES)
-            response = (session.upstream_one_way_ms
-                        + outcome.mean_response_latency_ms
-                        + server_latency + PLAYOUT_PROCESSING_MS)
-            records.append(SessionRecord(
-                player=player, day=day, game=game.name, kind=session.kind,
-                target=target,
-                response_latency_ms=response,
-                server_latency_ms=server_latency,
-                continuity=outcome.continuity,
-                satisfied=outcome.satisfied,
-                join_latency_ms=session.join_latency_ms,
-            ))
-        return records
-
-    def _cloud_egress_budget(self) -> float:
-        """Total egress budget of the direct-streaming links (Mbit/s)."""
-        if self.config.mode == "cdn":
-            return max(1, len(self.cdn_coords)) * DEFAULT_DC_EGRESS_MBPS
-        return self.config.num_datacenters * DEFAULT_DC_EGRESS_MBPS
-
-    def _server_latency_ms(self, player: int, kind: ConnectionKind) -> float:
-        """Interaction (server) latency for a player this epoch."""
-        if kind is ConnectionKind.CDN:
-            return CDN_COORDINATION_MS
-        return self._server_latency_cache.get(
-            player, self.datacenters[0].hop_ms)
-
-    # -- server assignment ---------------------------------------------------
-    def _run_server_assignment(self, rng: np.random.Generator,
-                               result: RunResult) -> None:
-        if self.config.mode == "cdn":
-            return
-        players_by_dc: dict[int, list[int]] = {}
-        for player in range(self.topology.num_players):
-            players_by_dc.setdefault(
-                int(self._nearest_dc[player]), []).append(player)
-        self._server_latency_cache.clear()
-        total_wall = 0.0
-        for dc_index, players in players_by_dc.items():
-            datacenter = self.datacenters[dc_index]
-            if self.config.strategies.social_assignment:
-                assignment = assign_players_socially(
-                    datacenter, players, self.population.friends, rng)
-            else:
-                assignment = assign_players_randomly(datacenter, players, rng)
-            total_wall += assignment.wall_time_s
-            # Per-player expected server latency: share of its friends on
-            # other servers times the cross-server round trip.
-            for player in players:
-                friends = [f for f in self.population.friends.friends(player)
-                           if self._nearest_dc[f] == dc_index]
-                if not friends:
-                    self._server_latency_cache[player] = 0.0
-                    continue
-                crossing = sum(
-                    1 for f in friends
-                    if datacenter.server_of(f) != datacenter.server_of(player))
-                self._server_latency_cache[player] = (
-                    2.0 * datacenter.hop_ms * crossing / len(friends))
-        result.assignment_wall_times_s.append(total_wall)
-
-    # -- provisioning -------------------------------------------------------
-    def _run_provisioning(self, plans: list[PlayerDayPlan],
-                          rng: np.random.Generator) -> None:
-        """Observe per-window player counts; redeploy for the next window."""
-        assert self.provisioner is not None
-        hours = self.config.schedule.hours_per_day
-        window = self.provisioner.window_hours
-        with obs.get_tracer().span("run_provisioning", windows=max(
-                1, -(-hours // window))):
-            for window_start in range(1, hours + 1, window):
-                window_end = min(hours, window_start + window - 1)
-                online = sum(
-                    1 for plan in plans
-                    if any(plan.online_at(s)
-                           for s in range(window_start, window_end + 1)))
-                self.provisioner.observe(online)
-                if self.provisioner.ready:
-                    target = min(self.provisioner.target_supernodes(),
-                                 len(self.supernode_pool))
-                    chosen = self.provisioner.choose_deployment(
-                        self.supernode_pool, target, rng)
-                    self._deploy(chosen)
-                    obs.get_registry().counter(
-                        "repro_provisioning_redeploys_total").inc()
-
-    # -- failures / migration --------------------------------------------
-    def _take_offline(self, failed: list[Supernode]
-                      ) -> list[tuple[Supernode, set[int]]]:
-        """Remove supernodes from service; return their orphaned players.
-
-        Shared by the out-of-band :meth:`fail_supernodes` entry point
-        and in-run crash injection: directory, ``_live_ids``, candidate
-        caches and the availability gauge all stay mutually consistent.
-        """
-        failed_ids = {sn.supernode_id for sn in failed}
-        orphan_sets = [(sn, sn.fail()) for sn in failed]
-        self.live_supernodes = [sn for sn in self.live_supernodes
-                                if sn.supernode_id not in failed_ids]
-        self._live_ids -= failed_ids
-        self.directory.rebuild(self.live_supernodes)
-        self.candidates.forget_supernodes(failed_ids)
-        registry = obs.get_registry()
-        registry.counter("repro_supernode_failures_total").inc(len(failed))
-        registry.gauge("repro_live_supernodes").set(
-            len(self.live_supernodes))
-        registry.gauge("repro_fog_availability_ratio").set(
-            self._fog_availability())
-        return orphan_sets
-
-    def _fog_availability(self) -> float:
-        """Live share of the last deployment (1.0 = no node down)."""
-        if not self._deployed_count:
-            return 0.0
-        return len(self.live_supernodes) / self._deployed_count
+        """Drive daily participation from arrival rates (Figs. 13-15)."""
+        simstate.set_arrival_rates(self._state, offpeak_per_min,
+                                   peak_per_min)
 
     def fail_supernodes(self, count: int, rng: np.random.Generator,
                         day: int | None = None) -> list[float]:
-        """Fail ``count`` random live supernodes; reconnect their players.
+        """Fail ``count`` random live supernodes; reconnect their players."""
+        return lifecycle.fail_supernodes(self._state, count, rng, day)
 
-        Out-of-band fault entry point (tests and ad-hoc churn probes; a
-        :class:`~repro.faults.FaultPlan` injects mid-sweep instead).
-        Returns the end-to-end migration latency — failure detection
-        plus the reconnect ladder — of every player that re-attached to
-        a supernode.  Players with no qualified candidate are *not*
-        silently folded into that list: they degrade to direct cloud
-        streaming conceptually, but with no live session to re-home
-        here they are recorded as dropped and their sticky/game state
-        cleared.  All accounting lands in ``self.fault_outcomes``.
-        """
-        if count < 0:
-            raise ValueError("count must be non-negative")
-        if not self.live_supernodes:
-            return []
-        count = min(count, len(self.live_supernodes))
-        picks = rng.choice(len(self.live_supernodes), size=count,
-                           replace=False)
-        failed = [self.live_supernodes[int(i)] for i in picks]
-        orphan_sets = self._take_offline(failed)
-        registry = obs.get_registry()
-        latencies: list[float] = []
-        summary = self.fault_outcomes
-        today = self._current_day if day is None else day
-        transient = (self.faults.plan.transient_refusal_prob
-                     if self.faults.active else 0.0)
-        # Out-of-band callers have no notion of heartbeat phase, so the
-        # detector contributes its expectation (500 ms at defaults).
-        detection = self.failure_detector.detection_latency_ms()
-        for sn, orphans in orphan_sets:
-            for player in sorted(orphans):
-                self._sticky.pop(player, None)
-                self.reputation.penalize(player, sn.supernode_id,
-                                         today=today)
-                game = self._games.get(player) or random_game(rng)
-                l_max = delay_threshold_ms(game.latency_requirement_ms)
-                summary.displaced += 1
-                registry.counter("repro_migrations_total").inc()
-                outcome = self._migrate(player, l_max, rng,
-                                        transient_refusal=transient)
-                retries = max(0, outcome.attempts - 1)
-                summary.retries += retries
-                if retries:
-                    registry.counter("repro_fault_retries_total").inc(retries)
-                if outcome.supernode_id is not None:
-                    latency = detection + outcome.latency_ms
-                    latencies.append(latency)
-                    summary.recovered += 1
-                    summary.time_to_recover_ms.append(latency)
-                    registry.histogram("repro_migration_latency_ms").observe(
-                        latency)
-                    registry.histogram(
-                        "repro_time_to_recover_ms",
-                        buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(latency)
-                else:
-                    summary.dropped += 1
-                    self._games.pop(player, None)
-                    registry.counter("repro_fault_dropped_total").inc()
-        self._log.info("supernode failures handled", extra=obs.kv(
-            failed=len(failed), displaced=summary.displaced,
-            migrated=len(latencies)))
-        return latencies
+    # -- infrastructure construction ------------------------------------
+    def _build_supernode_pool(self) -> None:
+        simstate.build_supernode_pool(self._state)
 
-    def _migrate(self, player: int, l_max: float,
-                 rng: np.random.Generator,
-                 transient_refusal: float = 0.0) -> MigrationOutcome:
-        """Walk a displaced player down the reconnect ladder.
+    def _build_cdn_sites(self) -> None:
+        simstate.build_cdn_sites(self._state)
 
-        §3.2.2: the player first walks its own candidate list (probe +
-        handshake, no cloud round trip).  Only if every remembered
-        candidate is gone or full does it ask the cloud again — with
-        bounded, jittered exponential backoff between rounds and the
-        nodes that already refused excluded from re-selection.  When no
-        rung lands on a supernode the player degrades to direct cloud
-        streaming (``supernode_id`` None).
+    def _deploy(self, supernodes) -> None:
+        simstate.deploy(self._state, supernodes)
 
-        ``transient_refusal`` models churn turbulence: each selection
-        round's handshake independently times out with this probability
-        (never on the final attempt's success), forcing a backoff retry.
-        """
-        for entry in self.candidates.candidates(player):
-            if entry.supernode_id >= len(self.supernode_pool):
-                # Stale id (the pool never shrinks today, but a cache
-                # loaded from elsewhere may disagree): invalidate it
-                # everywhere instead of silently re-probing forever.
-                self._log.debug("dropping stale candidate entry",
-                                extra=obs.kv(player=player,
-                                             supernode=entry.supernode_id))
-                self.candidates.forget_supernode(entry.supernode_id)
-                continue
-            candidate = self.supernode_pool[entry.supernode_id]
-            if (candidate.online and candidate.has_capacity
-                    and entry.delay_ms <= l_max):
-                candidate.connect(player)
-                self._sticky[player] = candidate.supernode_id
-                # Probe RTT + connect handshake, no cloud involvement.
-                return MigrationOutcome(
-                    2.0 * entry.delay_ms + 10.0 + entry.delay_ms,
-                    candidate.supernode_id, 0, "candidates")
-        upstream = self._cloud_one_way_ms(player)
-        reputation = (self.reputation
-                      if self.config.strategies.reputation_selection
-                      else None)
-        policy = self.retry_policy
-        latency = 0.0
-        refused: set[int] = set()
-        attempts = 0
-        for attempt in range(policy.max_attempts):
-            if attempt:
-                latency += policy.backoff_ms(attempt - 1, rng)
-            attempts = attempt + 1
-            outcome = select_supernode(
-                player, self.directory, l_max, rng,
-                reputation=reputation,
-                candidate_count=self.config.candidate_count,
-                cloud_rtt_ms=2.0 * upstream,
-                exclude=refused if refused else None)
-            latency += outcome.join_latency_ms
-            if outcome.qualified:
-                self.candidates.remember(player, list(outcome.qualified))
-            sid = outcome.supernode_id
-            if sid is not None:
-                if (transient_refusal > 0.0
-                        and attempt < policy.max_attempts - 1
-                        and rng.random() < transient_refusal):
-                    # Handshake timed out mid-churn: release the slot,
-                    # remember the refusal, back off and retry.
-                    self.supernode_pool[sid].disconnect(player)
-                    refused.add(sid)
-                    continue
-                self._sticky[player] = sid
-                return MigrationOutcome(latency, sid, attempts, "selection")
-            if not outcome.qualified:
-                # Nothing clears the delay filter; a retry would re-ask
-                # an unchanged table.  Degrade to the cloud.
-                break
-        return MigrationOutcome(latency, None, attempts, "cloud")
+    # -- plans / games ---------------------------------------------------
+    def _sample_plans(self, rng: np.random.Generator, day: int = 0):
+        return sweep.sample_plans(self._state, rng, day)
+
+    def _choose_games(self, plans, rng: np.random.Generator) -> None:
+        sweep.choose_games(self._state, plans, rng)
+
+    # -- sweep / assignment / provisioning -------------------------------
+    def _sweep_day(self, plans, rng, result, measuring, day=0):
+        return sweep.sweep_day(self._state, plans, rng, result, measuring,
+                               day)
+
+    def _run_server_assignment(self, rng, result) -> None:
+        sweep.run_server_assignment(self._state, rng, result)
+
+    def _run_provisioning(self, plans, rng) -> None:
+        sweep.run_provisioning(self._state, plans, rng)
+
+    # -- session lifecycle ----------------------------------------------
+    def _join(self, plan, rng):
+        return lifecycle.join(self._state, plan, rng)
+
+    def _join_cdn(self, plan, game):
+        return lifecycle.join_cdn(self._state, plan, game)
+
+    def _migrate(self, player, l_max, rng, transient_refusal=0.0):
+        return lifecycle.migrate(self._state, player, l_max, rng,
+                                 transient_refusal)
+
+    def _session_window(self, session, hours):
+        return lifecycle.session_window(session, hours)
+
+    def _take_offline(self, failed):
+        return lifecycle.take_offline(self._state, failed)
+
+    def _fog_availability(self) -> float:
+        return lifecycle.fog_availability(self._state)
+
+    # -- latency helpers -------------------------------------------------
+    def _cloud_one_way_ms(self, player: int) -> float:
+        return simstate.cloud_one_way_ms(self._state, player)
+
+    def _player_supernode_ms(self, player, sn) -> float:
+        return simstate.player_supernode_ms(self._state, player, sn)
+
+    def _server_latency_ms(self, player, kind) -> float:
+        return scoring.server_latency_ms(self._state, player, kind)
+
+    # -- session scoring -------------------------------------------------
+    def _score_sessions(self, day, sessions, loads, cloud_rate, rng):
+        return scoring.score_sessions(self._state, day, sessions, loads,
+                                      cloud_rate, rng)
+
+    def _score_sessions_inner(self, day, sessions, loads, cloud_rate, rng):
+        return scoring.score_sessions_batch(self._state, day, sessions,
+                                            loads, cloud_rate, rng)
+
+    def _score_sessions_scalar(self, day, sessions, loads, cloud_rate, rng):
+        return scoring.score_sessions_scalar(self._state, day, sessions,
+                                             loads, cloud_rate, rng)
+
+    def _gather_session_params(self, sessions, loads, cloud_rate):
+        return scoring.gather_session_params(self._state, sessions, loads,
+                                             cloud_rate)
+
+    def _apply_fault_penalties(self, records):
+        return scoring.apply_fault_penalties(self._state, records)
+
+    # -- bandwidth accounting ---------------------------------------------
+    def _cloud_egress_budget(self) -> float:
+        return accounting.cloud_egress_budget(self._state)
+
+    def _cloud_bandwidth(self, cloud_rate, loads) -> float:
+        return accounting.cloud_bandwidth(self._state, cloud_rate, loads)
 
     # -- in-run fault injection ------------------------------------------
-    def _session_window(self, session: _Session,
-                        hours: int) -> tuple[int, int]:
-        """The (start, end) subcycle span of a session, sweep semantics."""
-        start = min(session.plan.start_subcycle, hours)
-        end = min(hours,
-                  start + int(np.ceil(session.plan.duration_hours)) - 1)
-        return start, end
-
     def _apply_faults(self, day, subcycle, sessions, loads, cloud_rate,
                       frng, result, measuring, hours) -> None:
-        """Fire every fault scheduled for this (day, subcycle)."""
-        registry = obs.get_registry()
-        for event in self.faults.events_at(day, subcycle):
-            result.faults.events_applied += 1
-            registry.counter("repro_faults_injected_total",
-                             kind=event.kind).inc()
-            if event.kind == "crash":
-                self._inject_crash(event, day, subcycle, sessions, loads,
-                                   cloud_rate, frng, result, measuring,
-                                   hours)
-            elif event.kind == "flaky":
-                self._inject_flaky(event, frng)
-            elif event.kind == "degrade_link":
-                self._inject_link_degradation(event, subcycle, sessions,
-                                              hours)
-            elif event.kind == "lose_updates":
-                self._inject_update_loss(event, subcycle, sessions, hours,
-                                         registry)
+        handlers.apply_faults(self._state, day, subcycle, sessions, loads,
+                              cloud_rate, frng, result, measuring, hours)
 
-    def _fault_targets(self, event: FaultEvent,
-                       frng: np.random.Generator) -> list[Supernode]:
-        """Resolve a fault event to live supernode targets (may be [])."""
-        live = self.live_supernodes
-        if not live:
-            return []
-        if event.supernode_id is not None:
-            return [sn for sn in live
-                    if sn.supernode_id == event.supernode_id]
-        count = min(event.count, len(live))
-        picks = frng.choice(len(live), size=count, replace=False)
-        return [live[int(i)] for i in picks]
+    def _fault_targets(self, event, frng):
+        return handlers.fault_targets(self._state, event, frng)
 
     def _inject_crash(self, event, day, subcycle, sessions, loads,
                       cloud_rate, frng, result, measuring, hours) -> None:
-        """Crash supernodes mid-day and walk their sessions to recovery.
+        handlers.inject_crash(self._state, event, day, subcycle, sessions,
+                              loads, cloud_rate, frng, result, measuring,
+                              hours)
 
-        Every displaced session is accounted exactly once per
-        displacement: recovered onto another supernode, degraded to
-        direct cloud streaming, or (when its bookkeeping is gone)
-        dropped — the conservation invariant the chaos tests assert.
-        Load matrices move with the session: the crashed row keeps the
-        already-served span and loses the remainder, which lands on the
-        new row or the cloud's rate line.
-        """
-        targets = self._fault_targets(event, frng)
-        if not targets:
-            return
-        orphan_sets = self._take_offline(targets)
-        registry = obs.get_registry()
-        detector = self.failure_detector
-        transient = self.faults.plan.transient_refusal_prob
-        counts, rates = loads.counts, loads.rates
-        summary = result.faults
-        for sn, orphans in orphan_sets:
-            for player in sorted(orphans):
-                self._sticky.pop(player, None)
-                self.reputation.penalize(player, sn.supernode_id, today=day)
-                summary.displaced += 1
-                registry.counter("repro_fault_displaced_total").inc()
-                session = sessions.get(player)
-                if session is None or session.supernode_id != sn.supernode_id:
-                    # No live session bookkeeping to re-home (connected
-                    # out of band): account it as dropped, not lost.
-                    summary.dropped += 1
-                    registry.counter("repro_fault_dropped_total").inc()
-                    continue
-                game = self._games[player]
-                start, end = self._session_window(session, hours)
-                span = slice(subcycle, end + 1)
-                row = loads.row(sn.supernode_id)
-                if row is not None:
-                    counts[row, span] -= 1
-                    rates[row, span] -= game.stream_rate_mbps
-                detection = detector.detection_latency_ms(frng)
-                l_max = delay_threshold_ms(game.latency_requirement_ms)
-                outcome = self._migrate(player, l_max, frng,
-                                        transient_refusal=transient)
-                retries = max(0, outcome.attempts - 1)
-                summary.retries += retries
-                if retries:
-                    registry.counter("repro_fault_retries_total").inc(retries)
-                ttr = detection + outcome.latency_ms
-                if outcome.supernode_id is not None:
-                    new_row = loads.row(outcome.supernode_id)
-                    if new_row is not None:
-                        counts[new_row, span] += 1
-                        rates[new_row, span] += game.stream_rate_mbps
-                    new_sn = self.supernode_pool[outcome.supernode_id]
-                    session.supernode_id = outcome.supernode_id
-                    session.downstream_one_way_ms = \
-                        self._player_supernode_ms(player, new_sn)
-                    summary.recovered += 1
-                    summary.time_to_recover_ms.append(ttr)
-                    if measuring:
-                        result.migration_latencies_ms.append(ttr)
-                    registry.counter("repro_fault_recovered_total").inc()
-                    registry.counter("repro_migrations_total").inc()
-                    registry.histogram("repro_migration_latency_ms").observe(
-                        ttr)
-                    registry.histogram(
-                        "repro_time_to_recover_ms",
-                        buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(ttr)
-                else:
-                    # Graceful degradation: the cloud streams directly
-                    # for the rest of the session.
-                    session.kind = ConnectionKind.CLOUD
-                    session.supernode_id = None
-                    session.downstream_one_way_ms = \
-                        session.upstream_one_way_ms
-                    rate = game.stream_rate_mbps
-                    if self.compression is not None:
-                        rate = self.compression.compressed_mbps(rate)
-                    cloud_rate[span] += rate
-                    summary.degraded += 1
-                    registry.counter("repro_fault_degraded_total").inc()
-                # The stream stalled for detection + reconnect: charge
-                # the gap against the session's remaining play time.
-                remaining_ms = max(1.0,
-                                   (end - subcycle + 1) * 3_600_000.0)
-                self.faults.add_penalty(player, ttr / remaining_ms)
+    def _inject_flaky(self, event, frng) -> None:
+        handlers.inject_flaky(self._state, event, frng)
 
-    def _inject_flaky(self, event: FaultEvent,
-                      frng: np.random.Generator) -> None:
-        """Throttle supernodes to ``severity`` of capacity (rest of day).
+    def _inject_link_degradation(self, event, subcycle, sessions,
+                                 hours) -> None:
+        handlers.inject_link_degradation(self._state, event, subcycle,
+                                         sessions, hours)
 
-        Reuses the §4.1 throttling channel: utilization, congestion,
-        continuity, ratings and reputation all see the degradation
-        through the machinery that already models misbehaving
-        supernodes.  The next day's throttle re-roll clears it.
-        """
-        for sn in self._fault_targets(event, frng):
-            sn.throttle = min(sn.throttle, max(0.05, event.severity))
+    def _inject_update_loss(self, event, subcycle, sessions, hours,
+                            registry) -> None:
+        handlers.inject_update_loss(self._state, event, subcycle, sessions,
+                                    hours, registry)
 
-    def _inject_link_degradation(self, event: FaultEvent, subcycle,
-                                 sessions, hours) -> None:
-        """Add ``extra_ms`` one-way delay to active streams.
 
-        Targets the event's supernode when set, otherwise every active
-        session (a transit-level event).  The added delay persists for
-        the rest of the session — scoring reads the session's final
-        downstream delay — matching a route change that does not heal.
-        """
-        if event.extra_ms <= 0.0:
-            return
-        for player, session in sessions.items():
-            start, end = self._session_window(session, hours)
-            if not start <= subcycle <= end:
-                continue
-            if (event.supernode_id is not None
-                    and session.supernode_id != event.supernode_id):
-                continue
-            session.downstream_one_way_ms += event.extra_ms
-
-    def _inject_update_loss(self, event: FaultEvent, subcycle, sessions,
-                            hours, registry) -> None:
-        """Drop a share of update messages for ``duration_subcycles``.
-
-        Supernode-served sessions lose ``severity`` of their frames
-        while the window overlaps their play time; the loss lands as a
-        continuity penalty proportional to the overlapping share of the
-        session.  Cloud-direct sessions are unaffected (no update-relay
-        hop).  Sessions joining after the event has fired see the
-        post-event world and are not penalised.
-        """
-        window_end = min(hours, subcycle + event.duration_subcycles - 1)
-        affected = 0
-        for player, session in sessions.items():
-            if session.supernode_id is None:
-                continue
-            start, end = self._session_window(session, hours)
-            overlap = min(end, window_end) - max(start, subcycle) + 1
-            if overlap <= 0:
-                continue
-            span_len = end - start + 1
-            self.faults.add_penalty(
-                player, event.severity * overlap / span_len)
-            affected += 1
-        registry.counter(
-            "repro_update_loss_affected_sessions_total").inc(affected)
-
-    # -- bandwidth accounting --------------------------------------------
-    def _cloud_bandwidth(self, cloud_rate: np.ndarray,
-                         loads: SweepLoads) -> float:
-        """Mean cloud egress over the day's subcycles (Mbit/s).
-
-        CloudFog: Λ per supernode serving at least one player at that
-        subcycle plus the stream rate per cloud-direct player (Eq. 2's
-        Λ·m + (N−n)·R).  Cloud/CDN: the stream rate per cloud-served
-        player (a CDN's own edge egress is excluded, §4.2).
-        """
-        hours = self.config.schedule.hours_per_day
-        update_mbps = UPDATE_MESSAGE_BITS_PER_SUPERNODE / 1e6
-        # Per-subcycle count of serving supernodes in one pass over the
-        # dense load matrix (was a dict scan per subcycle).
-        serving = (loads.counts > 0).sum(axis=0)
-        per_subcycle = []
-        for subcycle in range(1, hours + 1):
-            bandwidth = float(cloud_rate[subcycle])
-            if self.config.mode == "cloudfog":
-                bandwidth += update_mbps * int(serving[subcycle])
-            per_subcycle.append(bandwidth)
-        return float(np.mean(per_subcycle))
+for _attr in _STATE_ATTRS:
+    setattr(CloudFogSystem, _attr, _state_property(_attr))
+for _alias, _attr in _STATE_ALIASES.items():
+    setattr(CloudFogSystem, _alias, _state_property(_attr))
+del _attr, _alias

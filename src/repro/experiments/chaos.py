@@ -22,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import cloudfog_advanced
-from ..core.system import CloudFogSystem, RunResult
+from ..core.accounting import RunResult
+from ..core.system import CloudFogSystem
 from ..faults.plan import FaultPlan, load_fault_plan
 from ..metrics.tables import ResultTable
 

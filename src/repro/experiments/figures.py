@@ -12,7 +12,8 @@ import numpy as np
 
 from .. import obs
 from ..core.config import cloudfog_basic
-from ..core.system import CloudFogSystem, RunResult
+from ..core.accounting import RunResult
+from ..core.system import CloudFogSystem
 from ..economics.incentives import IncentiveModel, daily_economics
 from ..economics.provider import renting_comparison
 from ..metrics.tables import ResultTable

@@ -28,7 +28,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from .. import obs
-from ..core.system import RunResult
+from ..core.accounting import RunResult
 from .runner import run_variant
 from .testbeds import Testbed
 

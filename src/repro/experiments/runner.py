@@ -10,7 +10,8 @@ from ..core.config import (
     cloudfog_advanced,
     cloudfog_basic,
 )
-from ..core.system import CloudFogSystem, RunResult
+from ..core.accounting import RunResult
+from ..core.system import CloudFogSystem
 from .testbeds import Testbed
 
 __all__ = ["VARIANTS", "variant_config", "build_system", "run_variant",

@@ -1,0 +1,219 @@
+"""In-run fault handlers: what each scheduled fault *does* to a sweep.
+
+The fault stage of the subcycle pipeline.  :func:`apply_faults` fires
+every :class:`~repro.faults.plan.FaultEvent` scheduled for the current
+(day, subcycle) against the live sweep: crashes walk displaced sessions
+down the reconnect ladder (``core.lifecycle``), flakiness reuses the
+§4.1 throttling channel, link degradation and update loss land as
+latency/continuity penalties.
+
+This module lives in ``repro.faults`` (the fault subsystem owns its
+semantics) but ranks *above* the core stage modules in the layering:
+it drives lifecycle/state mutations and is imported only by the
+orchestrator (``core.sweep``).  ``repro.faults.__init__`` must NOT
+import it — that would cycle through ``core.state``'s
+``build_injector`` import.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import obs
+from ..core.entities import ConnectionKind, Supernode
+from ..core.lifecycle import migrate, session_window, take_offline
+from ..core.selection import delay_threshold_ms
+from ..core.state import SimState, player_supernode_ms
+from ..obs.metrics import DEFAULT_RECOVERY_BUCKETS_MS
+from .plan import FaultEvent
+
+__all__ = ["apply_faults", "fault_targets", "inject_crash",
+           "inject_flaky", "inject_link_degradation",
+           "inject_update_loss"]
+
+
+def apply_faults(state: SimState, day, subcycle, sessions, loads,
+                 cloud_rate, frng, result, measuring, hours) -> None:
+    """Fire every fault scheduled for this (day, subcycle)."""
+    registry = obs.get_registry()
+    for event in state.faults.events_at(day, subcycle):
+        result.faults.events_applied += 1
+        registry.counter("repro_faults_injected_total",
+                         kind=event.kind).inc()
+        if event.kind == "crash":
+            inject_crash(state, event, day, subcycle, sessions, loads,
+                         cloud_rate, frng, result, measuring, hours)
+        elif event.kind == "flaky":
+            inject_flaky(state, event, frng)
+        elif event.kind == "degrade_link":
+            inject_link_degradation(state, event, subcycle, sessions,
+                                    hours)
+        elif event.kind == "lose_updates":
+            inject_update_loss(state, event, subcycle, sessions, hours,
+                               registry)
+
+
+def fault_targets(state: SimState, event: FaultEvent,
+                  frng: np.random.Generator) -> list[Supernode]:
+    """Resolve a fault event to live supernode targets (may be [])."""
+    live = state.live_supernodes
+    if not live:
+        return []
+    if event.supernode_id is not None:
+        return [sn for sn in live
+                if sn.supernode_id == event.supernode_id]
+    count = min(event.count, len(live))
+    picks = frng.choice(len(live), size=count, replace=False)
+    return [live[int(i)] for i in picks]
+
+
+def inject_crash(state: SimState, event, day, subcycle, sessions, loads,
+                 cloud_rate, frng, result, measuring, hours) -> None:
+    """Crash supernodes mid-day and walk their sessions to recovery.
+
+    Every displaced session is accounted exactly once per
+    displacement: recovered onto another supernode, degraded to
+    direct cloud streaming, or (when its bookkeeping is gone)
+    dropped — the conservation invariant the chaos tests assert.
+    Load matrices move with the session: the crashed row keeps the
+    already-served span and loses the remainder, which lands on the
+    new row or the cloud's rate line.
+    """
+    targets = fault_targets(state, event, frng)
+    if not targets:
+        return
+    orphan_sets = take_offline(state, targets)
+    registry = obs.get_registry()
+    detector = state.failure_detector
+    transient = state.faults.plan.transient_refusal_prob
+    counts, rates = loads.counts, loads.rates
+    summary = result.faults
+    for sn, orphans in orphan_sets:
+        for player in sorted(orphans):
+            state.sticky.pop(player, None)
+            state.reputation.penalize(player, sn.supernode_id, today=day)
+            summary.displaced += 1
+            registry.counter("repro_fault_displaced_total").inc()
+            session = sessions.get(player)
+            if session is None or session.supernode_id != sn.supernode_id:
+                # No live session bookkeeping to re-home (connected
+                # out of band): account it as dropped, not lost.
+                summary.dropped += 1
+                registry.counter("repro_fault_dropped_total").inc()
+                continue
+            game = state.games[player]
+            start, end = session_window(session, hours)
+            span = slice(subcycle, end + 1)
+            row = loads.row(sn.supernode_id)
+            if row is not None:
+                counts[row, span] -= 1
+                rates[row, span] -= game.stream_rate_mbps
+            detection = detector.detection_latency_ms(frng)
+            l_max = delay_threshold_ms(game.latency_requirement_ms)
+            outcome = migrate(state, player, l_max, frng,
+                              transient_refusal=transient)
+            retries = max(0, outcome.attempts - 1)
+            summary.retries += retries
+            if retries:
+                registry.counter("repro_fault_retries_total").inc(retries)
+            ttr = detection + outcome.latency_ms
+            if outcome.supernode_id is not None:
+                new_row = loads.row(outcome.supernode_id)
+                if new_row is not None:
+                    counts[new_row, span] += 1
+                    rates[new_row, span] += game.stream_rate_mbps
+                new_sn = state.supernode_pool[outcome.supernode_id]
+                session.supernode_id = outcome.supernode_id
+                session.downstream_one_way_ms = \
+                    player_supernode_ms(state, player, new_sn)
+                summary.recovered += 1
+                summary.time_to_recover_ms.append(ttr)
+                if measuring:
+                    result.migration_latencies_ms.append(ttr)
+                registry.counter("repro_fault_recovered_total").inc()
+                registry.counter("repro_migrations_total").inc()
+                registry.histogram("repro_migration_latency_ms").observe(
+                    ttr)
+                registry.histogram(
+                    "repro_time_to_recover_ms",
+                    buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(ttr)
+            else:
+                # Graceful degradation: the cloud streams directly
+                # for the rest of the session.
+                session.kind = ConnectionKind.CLOUD
+                session.supernode_id = None
+                session.downstream_one_way_ms = \
+                    session.upstream_one_way_ms
+                rate = game.stream_rate_mbps
+                if state.compression is not None:
+                    rate = state.compression.compressed_mbps(rate)
+                cloud_rate[span] += rate
+                summary.degraded += 1
+                registry.counter("repro_fault_degraded_total").inc()
+            # The stream stalled for detection + reconnect: charge
+            # the gap against the session's remaining play time.
+            remaining_ms = max(1.0,
+                               (end - subcycle + 1) * 3_600_000.0)
+            state.faults.add_penalty(player, ttr / remaining_ms)
+
+
+def inject_flaky(state: SimState, event: FaultEvent,
+                 frng: np.random.Generator) -> None:
+    """Throttle supernodes to ``severity`` of capacity (rest of day).
+
+    Reuses the §4.1 throttling channel: utilization, congestion,
+    continuity, ratings and reputation all see the degradation
+    through the machinery that already models misbehaving
+    supernodes.  The next day's throttle re-roll clears it.
+    """
+    for sn in fault_targets(state, event, frng):
+        sn.throttle = min(sn.throttle, max(0.05, event.severity))
+
+
+def inject_link_degradation(state: SimState, event: FaultEvent, subcycle,
+                            sessions, hours) -> None:
+    """Add ``extra_ms`` one-way delay to active streams.
+
+    Targets the event's supernode when set, otherwise every active
+    session (a transit-level event).  The added delay persists for
+    the rest of the session — scoring reads the session's final
+    downstream delay — matching a route change that does not heal.
+    """
+    if event.extra_ms <= 0.0:
+        return
+    for player, session in sessions.items():
+        start, end = session_window(session, hours)
+        if not start <= subcycle <= end:
+            continue
+        if (event.supernode_id is not None
+                and session.supernode_id != event.supernode_id):
+            continue
+        session.downstream_one_way_ms += event.extra_ms
+
+
+def inject_update_loss(state: SimState, event: FaultEvent, subcycle,
+                       sessions, hours, registry) -> None:
+    """Drop a share of update messages for ``duration_subcycles``.
+
+    Supernode-served sessions lose ``severity`` of their frames
+    while the window overlaps their play time; the loss lands as a
+    continuity penalty proportional to the overlapping share of the
+    session.  Cloud-direct sessions are unaffected (no update-relay
+    hop).  Sessions joining after the event has fired see the
+    post-event world and are not penalised.
+    """
+    window_end = min(hours, subcycle + event.duration_subcycles - 1)
+    affected = 0
+    for player, session in sessions.items():
+        if session.supernode_id is None:
+            continue
+        start, end = session_window(session, hours)
+        overlap = min(end, window_end) - max(start, subcycle) + 1
+        if overlap <= 0:
+            continue
+        span_len = end - start + 1
+        state.faults.add_penalty(
+            player, event.severity * overlap / span_len)
+        affected += 1
+    registry.counter(
+        "repro_update_loss_affected_sessions_total").inc(affected)

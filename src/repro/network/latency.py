@@ -116,6 +116,20 @@ class LatencyModel:
         """Round-trip latency between two endpoints."""
         return 2.0 * self.one_way_ms(distance_km, access_a_ms, access_b_ms)
 
+    def point_one_way_ms(self, ax_km: float, ay_km: float,
+                         bx_km: float, by_km: float,
+                         access_a_ms: float, access_b_ms: float) -> float:
+        """One-way latency between two located endpoints.
+
+        The single scalar path-latency formula: Euclidean distance
+        (``hypot``, the numerically careful form) through
+        :meth:`one_way_ms`.  Every point-to-point latency in the
+        simulation — player↔supernode reconnects, player↔player pings —
+        goes through here so the formula lives in exactly one place.
+        """
+        distance_km = float(np.hypot(ax_km - bx_km, ay_km - by_km))
+        return float(self.one_way_ms(distance_km, access_a_ms, access_b_ms))
+
     def response_latency_ms(self, upstream_one_way_ms: float,
                             downstream_one_way_ms: float,
                             processing_ms: float = PLAYOUT_PROCESSING_MS) -> float:

@@ -99,10 +99,10 @@ class Topology:
         return float(np.min(one_ways))
 
     def player_to_player_one_way_ms(self, a: int, b: int) -> float:
-        return float(self.latency_model.one_way_ms(
-            self.player_distance(a, b),
-            self.player_access_ms[a],
-            self.player_access_ms[b]))
+        return self.latency_model.point_one_way_ms(
+            float(self.player_coords[a, 0]), float(self.player_coords[a, 1]),
+            float(self.player_coords[b, 0]), float(self.player_coords[b, 1]),
+            self.player_access_ms[a], self.player_access_ms[b])
 
     def players_to_points_one_way_ms(self, players: np.ndarray,
                                      point_coords: np.ndarray,

@@ -1,4 +1,9 @@
-"""Tests for the CloudFogSystem orchestrator."""
+"""Tests for the CloudFogSystem façade: end-to-end runs, delegation,
+and the back-compat import shim.
+
+Stage-level behaviour is covered next door: ``test_state.py``,
+``test_lifecycle.py``, ``test_accounting.py``, ``test_sweep_pipeline.py``.
+"""
 
 import numpy as np
 import pytest
@@ -8,9 +13,10 @@ from repro.core import (
     ConnectionKind,
     cdn,
     cloud_only,
-    cloudfog_advanced,
     cloudfog_basic,
 )
+from repro.core.scoring import CDN_COORDINATION_MS
+from repro.core.state import SimState
 
 SMALL = dict(num_players=150, num_supernodes=12, seed=3)
 
@@ -97,7 +103,6 @@ def test_cdn_server_latency_is_coordination_penalty():
     cdn_sessions = [r for r in result.sessions
                     if r.kind is ConnectionKind.CDN]
     assert cdn_sessions
-    from repro.core.system import CDN_COORDINATION_MS
     assert all(r.server_latency_ms == CDN_COORDINATION_MS
                for r in cdn_sessions)
 
@@ -113,47 +118,6 @@ def test_reputation_accumulates_ratings(basic_result):
     assert system.ledger.total_ratings() > 0
 
 
-def test_fail_supernodes_migrates_players():
-    system = CloudFogSystem(cloudfog_basic(**SMALL))
-    system.run(days=1)
-    # Re-create a day's connections so supernodes hold players.
-    rng = np.random.default_rng(0)
-    plans = system._sample_plans(rng)
-    system._choose_games(plans, rng)
-    from repro.core.system import RunResult
-    system._sweep_day(plans, rng, RunResult(), measuring=False)
-    # Re-connect one player to every live supernode so any failure
-    # displaces someone.
-    next_player = 0
-    for sn in list(system.live_supernodes):
-        if sn.has_capacity:
-            while next_player in sn.connected:
-                next_player += 1
-            sn.connect(next_player)
-            next_player += 1
-    before = len(system.live_supernodes)
-    latencies = system.fail_supernodes(before // 2, rng)
-    # Survivors have room, so displaced players actually recover.
-    assert latencies
-    # ~0.8 s migrations: detection dominates, everything under ~2 s.
-    assert all(500.0 <= lat <= 2000.0 for lat in latencies)
-    assert len(system.live_supernodes) == before - before // 2
-    # Conservation: every displacement is recovered, degraded or
-    # dropped — nothing is silently folded into the latency list.
-    summary = system.fault_outcomes
-    assert summary.displaced > 0
-    assert summary.conserved()
-    assert summary.recovered == len(latencies)
-
-
-def test_fail_supernodes_validation():
-    system = CloudFogSystem(cloudfog_basic(**SMALL))
-    with pytest.raises(ValueError):
-        system.fail_supernodes(-1, np.random.default_rng(0))
-    bare = CloudFogSystem(cloud_only(num_players=50, seed=1))
-    assert bare.fail_supernodes(2, np.random.default_rng(0)) == []
-
-
 def test_daily_participants_override():
     system = CloudFogSystem(cloudfog_basic(**SMALL))
     system.daily_participants = 30
@@ -161,30 +125,63 @@ def test_daily_participants_override():
     assert all(d.online_players <= 30 for d in result.days)
 
 
-def test_empty_result_properties_raise():
-    from repro.core.system import RunResult
-    with pytest.raises(ValueError):
-        _ = RunResult().mean_continuity
-
-
-def test_arrival_rates_drive_participation():
+# ----------------------------------------------------------------------
+# façade mechanics
+# ----------------------------------------------------------------------
+def test_facade_exposes_shared_state():
     system = CloudFogSystem(cloudfog_basic(**SMALL))
-    system.set_arrival_rates(offpeak_per_min=0.05, peak_per_min=0.2)
-    # 0.05*60*19 + 0.2*60*5 = 57 + 60 = 117 participants baseline.
-    assert system.daily_participants == 117
-    result = system.run(days=2)
-    assert all(d.online_players <= 150 for d in result.days)
-    with pytest.raises(ValueError):
-        system.set_arrival_rates(-1.0, 1.0)
-    with pytest.raises(ValueError):
-        system.set_arrival_rates(0.0, 0.0)
+    assert isinstance(system.state, SimState)
+    # Public and legacy-private names are live views of the same state,
+    # not copies.
+    assert system.supernode_pool is system.state.supernode_pool
+    assert system._games is system.state.games
+    assert system._sticky is system.state.sticky
+    assert system._live_ids is system.state.live_ids
+    assert system._nearest_dc is system.state.nearest_dc
 
 
-def test_weekly_weights_modulate_daily_participants():
-    system = CloudFogSystem(cloudfog_basic(num_players=2000,
-                                           num_supernodes=12, seed=3))
-    system.set_arrival_rates(offpeak_per_min=0.5, peak_per_min=1.0)
-    rng = np.random.default_rng(0)
-    midweek = len(system._sample_plans(rng, day=0))   # weight 0.92
-    saturday = len(system._sample_plans(rng, day=5))  # weight 1.12
-    assert saturday > midweek
+def test_facade_attribute_writes_reach_state():
+    system = CloudFogSystem(cloudfog_basic(**SMALL))
+    system.use_batch_scoring = False
+    assert system.state.use_batch_scoring is False
+    system.daily_participants = 42
+    assert system.state.daily_participants == 42
+    system._games[7] = "placeholder"
+    assert system.state.games[7] == "placeholder"
+
+
+# ----------------------------------------------------------------------
+# back-compat import shim
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name, home", [
+    ("SessionRecord", "repro.core.accounting"),
+    ("DayMetrics", "repro.core.accounting"),
+    ("RunResult", "repro.core.accounting"),
+    ("SweepLoads", "repro.core.accounting"),
+    ("MigrationOutcome", "repro.core.lifecycle"),
+    ("CDN_COORDINATION_MS", "repro.core.scoring"),
+    ("SUPERNODE_MBPS_PER_SLOT", "repro.core.state"),
+])
+def test_moved_names_import_with_deprecation_warning(name, home):
+    import importlib
+
+    from repro.core import system as system_module
+
+    with pytest.warns(DeprecationWarning, match=home):
+        shimmed = getattr(system_module, name)
+    assert shimmed is getattr(importlib.import_module(home),
+                              name if name != "_Session" else "Session")
+
+
+def test_unmoved_names_do_not_warn(recwarn):
+    from repro.core.system import FAILURE_DETECTION_MS, CloudFogSystem  # noqa: F401
+
+    assert not [w for w in recwarn.list
+                if issubclass(w.category, DeprecationWarning)]
+
+
+def test_unknown_attribute_raises():
+    from repro.core import system as system_module
+
+    with pytest.raises(AttributeError):
+        system_module.no_such_name

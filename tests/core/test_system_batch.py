@@ -12,12 +12,8 @@ import numpy as np
 import pytest
 
 from repro.core import config as configs
-from repro.core.system import (
-    CloudFogSystem,
-    DayMetrics,
-    RunResult,
-    SweepLoads,
-)
+from repro.core.accounting import DayMetrics, RunResult, SweepLoads
+from repro.core.system import CloudFogSystem
 from repro.network.transport import TransportModel
 
 

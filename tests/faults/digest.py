@@ -1,39 +1,9 @@
-"""Canonical digest of a RunResult, for bit-identity pinning.
+"""Back-compat shim: the digest helper moved to ``tests/helpers/golden.py``.
 
-The fault-injection PR promises that a system configured with no
-FaultPlan produces *bit-identical* results to the pre-faults code.  The
-digest walks every numeric field of the measured output through
-``repr`` (which round-trips Python floats exactly) and hashes the
-concatenation, so a single ULP of drift anywhere changes the digest.
-
-Regenerate the pinned values with::
-
-    PYTHONPATH=src:tests python -m faults.regen_golden
+Kept so older imports (``from .digest import run_result_digest``) keep
+working; new code should import from :mod:`tests.helpers.golden`.
 """
 
-from __future__ import annotations
+from ..helpers.golden import run_result_digest
 
-import hashlib
-
-
-def run_result_digest(result) -> str:
-    """SHA-256 over every numeric field of a RunResult's content."""
-    parts: list[str] = []
-    for day in result.days:
-        parts.append("|".join(repr(v) for v in (
-            day.day, day.online_players, day.supernode_players,
-            day.cloud_players, day.cloud_bandwidth_mbps,
-            day.mean_response_latency_ms, day.mean_server_latency_ms,
-            day.mean_continuity, day.satisfied_ratio)))
-    for record in result.sessions:
-        parts.append("|".join(repr(v) for v in (
-            record.player, record.day, record.game, record.kind.value,
-            record.target, record.response_latency_ms,
-            record.server_latency_ms, record.continuity, record.satisfied,
-            record.join_latency_ms)))
-    # assignment_wall_times_s is deliberately excluded: it measures
-    # wall-clock time, which is not a simulation output.
-    for name in ("join_latencies_ms", "supernode_join_latencies_ms",
-                 "migration_latencies_ms"):
-        parts.append("|".join(repr(v) for v in getattr(result, name)))
-    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+__all__ = ["run_result_digest"]

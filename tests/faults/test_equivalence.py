@@ -1,13 +1,19 @@
-"""Bit-identity pin: no FaultPlan => outputs identical to pre-faults code.
+"""Bit-identity pins: golden digests of baseline and chaos runs.
 
-The golden digests below were generated from the pre-change code path
-and must never drift: a system configured without a fault plan (the
-default) takes the shared :data:`~repro.faults.injector.NULL_INJECTOR`
-path, creates no fault RNG streams and must reproduce every numeric
-output bit for bit.  Regenerate (only when an *intentional* simulation
-change lands) with::
+Two families of pins live here:
 
-    PYTHONPATH=src:tests python -m faults.regen_golden
+* **No-faults pins** — a system configured without a fault plan (the
+  default) takes the shared :data:`~repro.faults.injector.NULL_INJECTOR`
+  path, creates no fault RNG streams and must reproduce every numeric
+  output bit for bit against the pre-faults code.
+* **Chaos pins** — a run with a busy :class:`~repro.faults.plan.
+  FaultPlan` (every event kind + transient refusals) must also be bit
+  stable.  Together with the baseline pins this guards refactors of the
+  core pipeline: code motion must not change a single ULP anywhere.
+
+Regenerate (only when an *intentional* simulation change lands) with::
+
+    PYTHONPATH=src python -m tests.faults.regen_golden
 """
 
 import pytest
@@ -15,14 +21,18 @@ import pytest
 from repro.core import CloudFogSystem
 from repro.faults.plan import FaultPlan
 
-from .digest import run_result_digest
-from .regen_golden import SCENARIOS
+from ..helpers.golden import fault_summary_digest, run_result_digest
+from .regen_golden import CHAOS_SCENARIOS, SCENARIOS
 
 GOLDEN = {
     "cloudfog_basic":
         "a9f26aeafa28200abf986015c91d2d05ddf0efff4f338e896107ecd4ccefc741",
     "cloudfog_advanced":
         "11abc00b38ecb1f5d29278c52db31bd2d8f66ebc71cebbef2f56684111d8a586",
+    "chaos_advanced":
+        "c840ba01b83eda1249c9e26e81bda3e1e7c07757943a2d798e896f452e6df540",
+    "chaos_advanced_faults":
+        "8f68ec3b5f6a32f54844857ca5d7c4a9c8e52017381b5a89d77d2b44f003cbf2",
 }
 
 
@@ -43,3 +53,16 @@ def test_empty_fault_plan_is_also_bit_identical():
     config = replace(SCENARIOS["cloudfog_advanced"], fault_plan=FaultPlan())
     result = CloudFogSystem(config).run(days=2)
     assert run_result_digest(result) == GOLDEN["cloudfog_advanced"]
+
+
+def test_chaos_run_is_bit_identical():
+    """The refactor guard: a faulted run — crashes, flaky throttling,
+    link degradation, update loss, transient refusals — produces the
+    exact outputs (and fault accounting) pinned before the staged-sweep
+    refactor of ``repro.core``."""
+    result = CloudFogSystem(CHAOS_SCENARIOS["chaos_advanced"]).run(days=2)
+    assert run_result_digest(result) == GOLDEN["chaos_advanced"]
+    assert fault_summary_digest(result.faults) \
+        == GOLDEN["chaos_advanced_faults"]
+    assert result.faults.events_applied == 5
+    assert result.faults.conserved()

@@ -1,0 +1,1 @@
+"""Shared test utilities (golden digests, scenario builders)."""

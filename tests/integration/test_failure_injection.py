@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import CloudFogSystem, cloudfog_advanced, cloudfog_basic
 from repro.core.entities import ConnectionKind
-from repro.core.system import RunResult
+from repro.core.accounting import RunResult
 
 
 def _connect_everyone(system, rng):

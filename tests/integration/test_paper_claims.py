@@ -82,7 +82,7 @@ def test_fig9_migration_latency_sub_second():
     rng = np.random.default_rng(0)
     plans = system._sample_plans(rng)
     system._choose_games(plans, rng)
-    from repro.core.system import RunResult
+    from repro.core.accounting import RunResult
     system._sweep_day(plans, rng, RunResult(), measuring=False)
     player = 0
     for sn in system.live_supernodes:

@@ -1,0 +1,67 @@
+"""The layered-architecture lint (tools/check_layering.py) as a test.
+
+Guards the decomposed sweep pipeline: no module may import a module
+that ranks above it (DESIGN.md §10).  CI also runs the checker as its
+own job so layering breaks are named in the job list.
+"""
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_layering", TOOLS / "check_layering.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_layering"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_upward_imports(checker):
+    assert checker.check() == []
+
+
+def test_rank_table_orders_the_pipeline(checker):
+    order = ["repro.core.state", "repro.core.accounting",
+             "repro.core.lifecycle", "repro.core.scoring",
+             "repro.faults.handlers", "repro.core.sweep",
+             "repro.core.system", "repro.experiments"]
+    ranks = [checker.rank(name) for name in order]
+    assert ranks == sorted(ranks)
+    assert len(set(ranks)) == len(ranks)
+    # Foundation and leaf-core sit below every pipeline stage.
+    assert checker.rank("repro.network.latency") == 0
+    assert checker.rank("repro.core.entities") < checker.rank(
+        "repro.core.state")
+
+
+def test_checker_flags_planted_upward_import(checker, tmp_path):
+    """The AST walk resolves relative imports and flags the violation."""
+    planted = tmp_path / "lifecycle_bad.py"
+    planted.write_text("from .sweep import run_day\nfrom .. import obs\n")
+    imported = checker.imported_modules(
+        planted, "repro.core.lifecycle",
+        {"repro.core.sweep", "repro.obs"})
+    assert "repro.core.sweep" in imported
+    assert "repro.obs" in imported
+    assert checker.rank("repro.core.sweep") > checker.rank(
+        "repro.core.lifecycle")
+
+
+def test_faults_init_stays_foundation(checker):
+    """repro.faults/__init__ must never import .handlers: that would
+    cycle through core.state's build_injector import."""
+    init = checker.SRC / "repro" / "faults" / "__init__.py"
+    tree = ast.parse(init.read_text())
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            assert node.module != "handlers"
+            assert all(alias.name != "handlers" for alias in node.names)
