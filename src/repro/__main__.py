@@ -8,6 +8,17 @@ Usage::
     python -m repro fig6 --players 400 800
     python -m repro fig7 --jobs 4        # parallel sweep (figs 6-8)
 
+Checkpoint & resume (see :mod:`repro.persist` and README)::
+
+    python -m repro run --days 28 --checkpoint-dir ckpts \
+        --checkpoint-every 7             # snapshot every 7th day
+    python -m repro run --resume-from ckpts
+                                         # finish the interrupted run
+
+``run`` executes one CloudFog system (``--variant``, ``--players``,
+``--supernodes``, ``--seed``, ``--faults``) and prints its summary
+table; a resumed run reproduces the uninterrupted run bit for bit.
+
 Observability (see :mod:`repro.obs` and README "Observability")::
 
     python -m repro fig10 --trace trace.jsonl --metrics metrics.prom \
@@ -82,6 +93,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "json)")
     parser.add_argument("--chart", action="store_true",
                         help="render ASCII bar charts instead of a table")
+    group = parser.add_argument_group(
+        "single run ('run' command only)")
+    group.add_argument("--variant", default="CloudFog/A",
+                       choices=("CloudFog/A", "CloudFog/B"),
+                       help="system variant to run (default CloudFog/A)")
+    group.add_argument("--days", type=int, default=None,
+                       help="schedule length in days (default: the "
+                            "config's schedule; on resume: the "
+                            "originally planned length)")
+    group.add_argument("--supernodes", type=int, default=12,
+                       help="supernode pool size (default 12)")
+    group = parser.add_argument_group("checkpointing ('run' command only)")
+    group.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                       help="write day-boundary checkpoints into DIR "
+                            "(created if missing)")
+    group.add_argument("--checkpoint-every", type=int, default=1,
+                       metavar="N",
+                       help="snapshot every Nth day (default 1)")
+    group.add_argument("--resume-from", metavar="PATH", default=None,
+                       help="resume from a checkpoint file, or from the "
+                            "latest checkpoint in a directory; the "
+                            "resumed run is bit-identical to an "
+                            "uninterrupted one")
     group = parser.add_argument_group("observability")
     group.add_argument("--trace", metavar="PATH", default=None,
                        help="write finished trace spans as JSON lines")
@@ -104,7 +138,17 @@ def main(argv: list[str] | None = None) -> int:
         for name, (func, _, _, _, _) in sorted(FIGURES.items()):
             doc = (func.__doc__ or "").strip().splitlines()[0]
             print(f"{name:<8} {doc}")
+        print(f"{'run':<8} Run one system, with optional "
+              f"checkpoint/resume (--checkpoint-dir, --resume-from).")
         return 0
+    if args.figure == "run":
+        code = _setup_observability(args)
+        if code:
+            return code
+        code = _run_command(args)
+        if code == 0 and _observing(args):
+            _export_observability(args)
+        return code
     if args.figure not in FIGURES:
         print(f"unknown figure {args.figure!r}; try 'list'",
               file=sys.stderr)
@@ -132,23 +176,11 @@ def main(argv: list[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         kwargs["faults"] = args.faults
-    observing = bool(args.trace or args.metrics or args.profile
-                     or args.log_level)
+    observing = _observing(args)
     if observing:
-        # Fail fast on bad observability arguments: a typo'd level or an
-        # unwritable output path should cost milliseconds, not a full run.
-        for path in (args.trace, args.metrics):
-            if path:
-                try:
-                    open(path, "a").close()
-                except OSError as exc:
-                    print(f"cannot write {path}: {exc}", file=sys.stderr)
-                    return 2
-        try:
-            obs.enable(log_level=args.log_level)
-        except ValueError as exc:
-            print(str(exc), file=sys.stderr)
-            return 2
+        code = _setup_observability(args)
+        if code:
+            return code
     table = func(**kwargs)
     if args.chart:
         from .metrics.plots import render_bars
@@ -157,6 +189,76 @@ def main(argv: list[str] | None = None) -> int:
         print(table)
     if observing:
         _export_observability(args)
+    return 0
+
+
+def _observing(args) -> bool:
+    return bool(args.trace or args.metrics or args.profile
+                or args.log_level)
+
+
+def _setup_observability(args) -> int:
+    """Enable instrumentation per the flags; 0 on success, 2 on error.
+
+    Fails fast on bad observability arguments: a typo'd level or an
+    unwritable output path should cost milliseconds, not a full run.
+    """
+    if not _observing(args):
+        return 0
+    for path in (args.trace, args.metrics):
+        if path:
+            try:
+                open(path, "a").close()
+            except OSError as exc:
+                print(f"cannot write {path}: {exc}", file=sys.stderr)
+                return 2
+    try:
+        obs.enable(log_level=args.log_level)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+def _run_command(args) -> int:
+    """The ``run`` command: one system run with checkpoint/resume."""
+    from .core.config import cloudfog_advanced, cloudfog_basic
+    from .faults import load_fault_plan
+    from .persist import CheckpointError
+
+    for flag, taken in (("--jobs", args.jobs is not None),
+                        ("--chart", args.chart)):
+        if taken:
+            print(f"run does not take {flag}", file=sys.stderr)
+            return 2
+    try:
+        if args.resume_from is not None:
+            result = experiments.resume_config(
+                args.resume_from, days=args.days,
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every)
+        else:
+            if args.players is not None and len(args.players) != 1:
+                print("run takes a single --players value",
+                      file=sys.stderr)
+                return 2
+            build = (cloudfog_basic if args.variant == "CloudFog/B"
+                     else cloudfog_advanced)
+            config = build(
+                num_players=args.players[0] if args.players else 250,
+                num_supernodes=args.supernodes, seed=args.seed,
+                fault_plan=(load_fault_plan(args.faults)
+                            if args.faults else None))
+            result = experiments.run_config(
+                config, days=(args.days if args.days is not None
+                              else config.schedule.days),
+                label=f"cli-{args.variant}",
+                checkpoint_dir=args.checkpoint_dir,
+                checkpoint_every=args.checkpoint_every)
+    except (CheckpointError, OSError, ValueError) as exc:
+        print(f"run failed: {exc}", file=sys.stderr)
+        return 1
+    print(result.summary_table())
     return 0
 
 

@@ -326,13 +326,31 @@ def run_day(state: SimState, day: int, result: RunResult,
         result.sessions.extend(records)
 
 
-def run_schedule(state: SimState, days: int | None = None) -> RunResult:
+def run_schedule(state: SimState, days: int | None = None, *,
+                 result: RunResult | None = None, start_day: int = 0,
+                 on_day_end=None) -> RunResult:
     """Run the configured schedule and return measured-day results.
 
     Execution goes through the PeerSim-style
     :class:`~repro.sim.cycles.CycleScheduler`: each cycle (day) fires
     as a day-start hook — exactly the paper's cycle-driven execution
     model.  Short runs always measure at least the final day.
+
+    The keyword-only parameters are the checkpoint/resume seam
+    (:mod:`repro.persist`):
+
+    * ``result`` — continue appending to an existing (restored)
+      :class:`RunResult` instead of starting a fresh one; the
+      construction-time supernode-join snapshot only happens for a
+      fresh result.
+    * ``start_day`` — first day to execute (resume skips the days the
+      checkpoint already covered).  Warm-up/measurement windows depend
+      only on the *total* day count, so a resumed run measures exactly
+      the days the uninterrupted run would have.
+    * ``on_day_end`` — called as ``on_day_end(state, day, result,
+      total_days)`` through the scheduler's day-end hook chain after
+      each completed day; the :class:`~repro.persist.Checkpointer`
+      plugs in here.
     """
     from ..sim.cycles import CycleScheduler, Schedule
 
@@ -340,9 +358,12 @@ def run_schedule(state: SimState, days: int | None = None) -> RunResult:
     total_days = schedule.days if days is None else days
     if total_days <= 0:
         raise ValueError(f"days must be positive, got {total_days}")
-    result = RunResult()
-    result.supernode_join_latencies_ms = list(
-        state.supernode_join_latencies_ms)
+    if start_day < 0:
+        raise ValueError(f"start_day must be non-negative, got {start_day}")
+    if result is None:
+        result = RunResult()
+        result.supernode_join_latencies_ms = list(
+            state.supernode_join_latencies_ms)
     warmup = min(schedule.warmup_days, max(0, total_days - 1))
 
     driver = CycleScheduler(schedule=Schedule(
@@ -352,5 +373,9 @@ def run_schedule(state: SimState, days: int | None = None) -> RunResult:
         peak_subcycles=schedule.peak_subcycles))
     driver.on_day_start(
         lambda day: run_day(state, day, result, measuring=day >= warmup))
-    driver.run()
+    if on_day_end is not None:
+        driver.on_day_end(
+            lambda day: on_day_end(state, day, result, total_days))
+    for day in range(start_day, total_days):
+        driver.run_day(day)
     return result

@@ -144,9 +144,17 @@ class CloudFogSystem:
         return self._state
 
     # -- public API ----------------------------------------------------
-    def run(self, days: int | None = None) -> accounting.RunResult:
-        """Run the configured schedule and return measured-day results."""
-        return sweep.run_schedule(self._state, days)
+    def run(self, days: int | None = None, *,
+            result: accounting.RunResult | None = None,
+            start_day: int = 0, on_day_end=None) -> accounting.RunResult:
+        """Run the configured schedule and return measured-day results.
+
+        The keyword-only parameters are the checkpoint/resume seam —
+        see :func:`repro.core.sweep.run_schedule`.
+        """
+        return sweep.run_schedule(self._state, days, result=result,
+                                  start_day=start_day,
+                                  on_day_end=on_day_end)
 
     def run_day(self, day: int, result: accounting.RunResult,
                 measuring: bool) -> None:

@@ -1,6 +1,8 @@
-"""Experiment runner helpers: variants, sweeps, seed handling."""
+"""Experiment runner helpers: variants, sweeps, seeds, checkpointing."""
 
 from __future__ import annotations
+
+from pathlib import Path
 
 from .. import obs
 from ..core.config import (
@@ -12,10 +14,19 @@ from ..core.config import (
 )
 from ..core.accounting import RunResult
 from ..core.system import CloudFogSystem
+from ..persist import Checkpointer, resume_run
 from .testbeds import Testbed
 
 __all__ = ["VARIANTS", "variant_config", "build_system", "run_variant",
-           "run_config"]
+           "run_config", "resume_config"]
+
+
+def _checkpointer(checkpoint_dir, checkpoint_every: int
+                  ) -> Checkpointer | None:
+    """The day-end checkpoint hook for a run, or None without a dir."""
+    if checkpoint_dir is None:
+        return None
+    return Checkpointer(Path(checkpoint_dir), every=checkpoint_every)
 
 #: The system variants of the evaluation, by paper name.
 VARIANTS = ("Cloud", "CDN-small", "CDN", "CloudFog/B", "CloudFog/A")
@@ -57,34 +68,61 @@ def build_system(variant: str, testbed: Testbed, seed: int = 0,
 
 
 def run_variant(variant: str, testbed: Testbed, seed: int = 0,
-                days: int = 3, **overrides) -> RunResult:
+                days: int = 3, checkpoint_dir=None,
+                checkpoint_every: int = 1, **overrides) -> RunResult:
     """Build and run one variant; returns the measured results.
 
     Each invocation opens one top-level ``run_variant`` trace span (a
     no-op unless :func:`repro.obs.enable` ran) so a multi-variant sweep
-    decomposes cleanly in a trace or ``--profile`` breakdown.
+    decomposes cleanly in a trace or ``--profile`` breakdown.  Passing
+    ``checkpoint_dir`` snapshots the run every ``checkpoint_every``
+    days (:mod:`repro.persist`); resume with :func:`resume_config`.
     """
     if days <= 0:
         raise ValueError("days must be positive")
     system = build_system(variant, testbed, seed, **overrides)
+    hook = _checkpointer(checkpoint_dir, checkpoint_every)
     with obs.get_tracer().span("run_variant", variant=variant,
                                testbed=testbed.name, seed=seed, days=days,
                                players=system.config.num_players):
-        return system.run(days=days)
+        return system.run(days=days,
+                          on_day_end=None if hook is None
+                          else hook.on_day_end)
 
 
-def run_config(config: SystemConfig, days: int,
-               label: str = "custom") -> RunResult:
+def run_config(config: SystemConfig, days: int, label: str = "custom",
+               checkpoint_dir=None, checkpoint_every: int = 1
+               ) -> RunResult:
     """Run an explicitly configured system under a ``run_variant`` span.
 
     The ablation figures (10-15) build bespoke :class:`SystemConfig`\\ s
     instead of named variants; routing them through this helper keeps
     every system run visible in traces under the same span name.
+    ``checkpoint_dir``/``checkpoint_every`` behave as in
+    :func:`run_variant`.
     """
     if days <= 0:
         raise ValueError("days must be positive")
     system = CloudFogSystem(config)
+    hook = _checkpointer(checkpoint_dir, checkpoint_every)
     with obs.get_tracer().span("run_variant", variant=label,
                                seed=config.seed, days=days,
                                players=config.num_players):
-        return system.run(days=days)
+        return system.run(days=days,
+                          on_day_end=None if hook is None
+                          else hook.on_day_end)
+
+
+def resume_config(source, days: int | None = None, checkpoint_dir=None,
+                  checkpoint_every: int = 1) -> RunResult:
+    """Resume an interrupted run from a checkpoint file or directory.
+
+    By default the run finishes its originally planned schedule (the
+    total day count is stored in the checkpoint); ``days`` overrides
+    it.  Pass ``checkpoint_dir`` (often the same directory) to keep
+    snapshotting the remaining days.
+    """
+    checkpointer = _checkpointer(checkpoint_dir, checkpoint_every)
+    with obs.get_tracer().span("run_variant", variant="resume",
+                               source=str(source)):
+        return resume_run(source, days, checkpointer=checkpointer)

@@ -56,14 +56,39 @@ class SeasonalArima:
 
     # -- online interface --------------------------------------------------
     def observe(self, value: float) -> None:
-        """Record the realised player count for the current window."""
+        """Record the realised player count for the current window.
+
+        The innovation ``W_t = N_t - N_hat_t`` is defined against the
+        one-step forecast whether or not the caller asked for one.  When
+        :meth:`forecast` was skipped for this window, the implied Eq. 14
+        forecast is computed here — recording 0.0 instead (the old
+        behaviour) injected a phantom perfect prediction into the MA
+        terms one season later, corrupting every subsequent forecast.
+        """
         if value < 0:
             raise ValueError(f"player counts are non-negative, got {value}")
         forecast = self._last_forecast
+        if forecast is None and self.ready:
+            forecast = self._one_step_forecast()
         residual = 0.0 if forecast is None else value - forecast
         self._history.append(float(value))
         self._residuals.append(residual)
         self._last_forecast = None
+
+    def _one_step_forecast(self) -> float:
+        """Eq. 14 against the current lags, floored at 0 players."""
+        history, residuals, period = self._history, self._residuals, self.period
+        n_prev = history[-1]
+        n_season = history[-period]
+        n_season_prev = history[-period - 1]
+        w_prev = residuals[-1]
+        w_season = residuals[-period]
+        w_season_prev = residuals[-period - 1]
+        value = (n_season + n_prev - n_season_prev
+                 - self.theta * w_prev
+                 - self.seasonal_theta * w_season
+                 + self.theta * self.seasonal_theta * w_season_prev)
+        return max(0.0, value)
 
     def forecast(self) -> float:
         """Predict the next window's player count (Eq. 14).
@@ -72,23 +97,12 @@ class SeasonalArima:
         else the last observation) until enough history accumulates.
         Player counts are floored at 0.
         """
-        history, residuals, period = self._history, self._residuals, self.period
-        if not history:
+        if not self._history:
             raise RuntimeError("cannot forecast with no observations")
-        if len(history) <= period:
-            value = history[-1]
+        if not self.ready:
+            value = max(0.0, self._history[-1])
         else:
-            n_prev = history[-1]
-            n_season = history[-period]
-            n_season_prev = history[-period - 1]
-            w_prev = residuals[-1]
-            w_season = residuals[-period]
-            w_season_prev = residuals[-period - 1]
-            value = (n_season + n_prev - n_season_prev
-                     - self.theta * w_prev
-                     - self.seasonal_theta * w_season
-                     + self.theta * self.seasonal_theta * w_season_prev)
-        value = max(0.0, value)
+            value = self._one_step_forecast()
         self._last_forecast = value
         return value
 

@@ -1,0 +1,161 @@
+"""Checkpoint/resume driver: save at day boundaries, resume bit-identically.
+
+The :class:`Checkpointer` is a ``run_schedule`` day-end hook: wired via
+``run_schedule(..., on_day_end=checkpointer.on_day_end)`` it rides the
+:class:`~repro.sim.cycles.CycleScheduler`'s ``on_day_end`` hook chain
+and snapshots the complete run state every ``every`` days.
+
+:func:`resume_run` is the other half: load a checkpoint (a file, or a
+directory's latest), rebuild state + accumulated results, and continue
+the schedule from the next day.  Because every RNG stream is day-scoped
+and the snapshot enumerates all cross-day mutable state
+(:mod:`repro.persist.snapshot`), an interrupted-and-resumed run
+reproduces the uninterrupted run's outputs bit for bit — pinned against
+the golden digests by ``tests/persist``.
+
+Save/load emit ``checkpoint_save`` / ``checkpoint_load`` spans and
+``repro_checkpoint_{saves,loads}_total`` counters plus a
+``repro_checkpoint_bytes`` gauge (no-ops unless :func:`repro.obs.enable`
+ran, like all instrumentation).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .. import obs
+from ..core.accounting import RunResult
+from ..core.state import SimState
+from ..core.sweep import run_schedule
+from .codec import CheckpointError, read_checkpoint, write_checkpoint
+from .snapshot import (capture_result, capture_state, restore_result,
+                       restore_state)
+
+__all__ = ["CHECKPOINT_GLOB", "checkpoint_path", "save_checkpoint",
+           "load_checkpoint", "latest_checkpoint", "LoadedCheckpoint",
+           "Checkpointer", "resume_run"]
+
+#: File-name pattern of one day's checkpoint inside a checkpoint dir.
+_NAME_TEMPLATE = "checkpoint-day{day:04d}.json"
+CHECKPOINT_GLOB = "checkpoint-day*.json"
+_NAME_RE = re.compile(r"checkpoint-day(\d+)\.json$")
+
+
+def checkpoint_path(directory: str | Path, day: int) -> Path:
+    """The canonical path of day ``day``'s checkpoint in a directory."""
+    return Path(directory) / _NAME_TEMPLATE.format(day=day)
+
+
+def save_checkpoint(path: str | Path, state: SimState, result: RunResult,
+                    day: int, total_days: int) -> Path:
+    """Snapshot a run after ``day`` finished; returns the written path."""
+    with obs.get_tracer().span("checkpoint_save", day=day):
+        payload = {
+            "day": day,
+            "run": {"total_days": total_days},
+            "state": capture_state(state),
+            "result": capture_result(result),
+        }
+        written = write_checkpoint(path, payload)
+    registry = obs.get_registry()
+    registry.counter("repro_checkpoint_saves_total").inc()
+    registry.gauge("repro_checkpoint_bytes").set(written.stat().st_size)
+    return written
+
+
+@dataclass(frozen=True)
+class LoadedCheckpoint:
+    """A restored run: where it stopped and everything it carried."""
+
+    day: int
+    total_days: int
+    state: SimState
+    result: RunResult
+
+
+def load_checkpoint(path: str | Path) -> LoadedCheckpoint:
+    """Read + verify a checkpoint and rebuild live state from it."""
+    with obs.get_tracer().span("checkpoint_load", path=str(path)):
+        payload = read_checkpoint(path)
+        loaded = LoadedCheckpoint(
+            day=payload["day"],
+            total_days=payload["run"]["total_days"],
+            state=restore_state(payload["state"]),
+            result=restore_result(payload["result"]))
+    obs.get_registry().counter("repro_checkpoint_loads_total").inc()
+    return loaded
+
+
+def latest_checkpoint(directory: str | Path) -> Path | None:
+    """The highest-day checkpoint file in a directory, if any."""
+    best: tuple[int, Path] | None = None
+    for candidate in Path(directory).glob(CHECKPOINT_GLOB):
+        match = _NAME_RE.search(candidate.name)
+        if match is None:
+            continue
+        day = int(match.group(1))
+        if best is None or day > best[0]:
+            best = (day, candidate)
+    return None if best is None else best[1]
+
+
+@dataclass
+class Checkpointer:
+    """A day-end hook that snapshots the run every ``every`` days.
+
+    The cadence counts completed days: with ``every=k`` the snapshot
+    lands after days k-1, 2k-1, … (i.e. every k-th completed day).
+    A final day off the cadence is *not* snapshotted — crash recovery
+    restarts from the last cadence point, which is the deal ``every``
+    buys.
+    """
+
+    directory: Path
+    every: int = 1
+    #: Paths written by this checkpointer, in save order.
+    written: list[Path] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, day: int) -> Path:
+        return checkpoint_path(self.directory, day)
+
+    def on_day_end(self, state: SimState, day: int, result: RunResult,
+                   total_days: int) -> None:
+        """The ``run_schedule``/``CycleScheduler`` day-end hook."""
+        if (day + 1) % self.every == 0:
+            self.written.append(save_checkpoint(
+                self.path_for(day), state, result, day, total_days))
+
+
+def resume_run(source: str | Path, days: int | None = None,
+               checkpointer: Checkpointer | None = None) -> RunResult:
+    """Resume an interrupted run from a checkpoint; return its result.
+
+    ``source`` is a checkpoint file or a checkpoint directory (the
+    latest checkpoint wins).  ``days`` overrides the run's total length
+    — by default the resumed run finishes the originally planned
+    schedule, which is what bit-identity requires (warm-up and
+    measurement windows depend on the total).  Pass a ``checkpointer``
+    to keep snapshotting the remaining days.
+
+    Resuming a checkpoint of an already-finished run returns its stored
+    result unchanged.
+    """
+    path = Path(source)
+    if path.is_dir():
+        found = latest_checkpoint(path)
+        if found is None:
+            raise CheckpointError(f"no checkpoints found in {path}")
+        path = found
+    loaded = load_checkpoint(path)
+    total_days = loaded.total_days if days is None else days
+    hook = None if checkpointer is None else checkpointer.on_day_end
+    return run_schedule(loaded.state, total_days, result=loaded.result,
+                        start_day=loaded.day + 1, on_day_end=hook)

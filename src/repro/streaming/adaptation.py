@@ -64,7 +64,7 @@ class RateController:
             raise ValueError(f"theta must be >= 1 (Eq. 12), got {self.theta}")
         if self.hysteresis < 1:
             raise ValueError(f"hysteresis must be >= 1, got {self.hysteresis}")
-        get_level(self.initial_level)  # validates range
+        get_level(self.initial_level, self.ladder)  # validates range
         self.level = self.initial_level
         self._beta = adjust_up_factor(self.ladder)
 
@@ -86,7 +86,7 @@ class RateController:
 
     @property
     def quality(self) -> QualityLevel:
-        return get_level(self.level)
+        return get_level(self.level, self.ladder)
 
     # -- control -----------------------------------------------------------
     def observe(self, buffered_segments: float) -> Adjustment:
@@ -111,14 +111,22 @@ class RateController:
             self._down_streak = 0
             return Adjustment.NONE
 
-        if self._up_streak >= self.hysteresis and self.level < len(self.ladder):
-            self.level += 1
-            self.adjustments += 1
+        # A satisfied hysteresis consumes the streak whether or not the
+        # ladder has room: at a boundary the trigger still fires (and
+        # resolves to no-op), so the next adjustment needs a full fresh
+        # streak rather than firing on the first post-boundary estimate.
+        if self._up_streak >= self.hysteresis:
             self._up_streak = 0
-            return Adjustment.UP
-        if self._down_streak >= self.hysteresis and self.level > 1:
-            self.level -= 1
-            self.adjustments += 1
+            if self.level < len(self.ladder):
+                self.level += 1
+                self.adjustments += 1
+                return Adjustment.UP
+            return Adjustment.NONE
+        if self._down_streak >= self.hysteresis:
             self._down_streak = 0
-            return Adjustment.DOWN
+            if self.level > 1:
+                self.level -= 1
+                self.adjustments += 1
+                return Adjustment.DOWN
+            return Adjustment.NONE
         return Adjustment.NONE

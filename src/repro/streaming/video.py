@@ -69,12 +69,19 @@ QUALITY_LADDER: tuple[QualityLevel, ...] = (
 )
 
 
-def get_level(level: int) -> QualityLevel:
-    """Return the :class:`QualityLevel` for a 1-based level number."""
-    if not 1 <= level <= len(QUALITY_LADDER):
+def get_level(level: int,
+              ladder: Sequence[QualityLevel] = QUALITY_LADDER
+              ) -> QualityLevel:
+    """Return the :class:`QualityLevel` for a 1-based level number.
+
+    ``ladder`` defaults to Table 2 but any ordered ladder works; a
+    controller configured with a custom ladder must resolve its rows
+    here, not in the global table.
+    """
+    if not 1 <= level <= len(ladder):
         raise ValueError(
-            f"level must lie in [1, {len(QUALITY_LADDER)}], got {level}")
-    return QUALITY_LADDER[level - 1]
+            f"level must lie in [1, {len(ladder)}], got {level}")
+    return ladder[level - 1]
 
 
 def level_for_latency_requirement(requirement_ms: float,

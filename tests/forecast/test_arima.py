@@ -62,6 +62,33 @@ def test_forecast_is_floored_at_zero():
     assert model.forecast() == 0.0
 
 
+def test_unqueried_observe_records_implied_residual():
+    """Regression: an observe() without a preceding forecast() recorded
+    a 0.0 residual once the model was ready, i.e. a phantom perfect
+    prediction that corrupted the MA terms a season later.  The implied
+    Eq. 14 one-step forecast must be used instead, making residual state
+    independent of whether the caller happened to query a forecast."""
+    series = [10.0, 20.0, 30.0, 25.0, 15.0, 35.0]
+    queried = SeasonalArima(period=2, theta=0.5, seasonal_theta=0.4)
+    silent = SeasonalArima(period=2, theta=0.5, seasonal_theta=0.4)
+    for value in series:
+        if queried.ready:  # during warmup a query records the *naive*
+            queried.forecast()  # forecast's residual by design
+        queried.observe(value)
+        silent.observe(value)  # observe/observe/... (never queried)
+    assert silent._residuals == queried._residuals
+    assert silent.forecast() == queried.forecast()
+
+
+def test_unqueried_observe_keeps_zero_residual_before_ready():
+    """During warmup there is no Eq. 14 forecast to imply; the residual
+    stays 0.0 exactly as before the fix."""
+    model = SeasonalArima(period=3)
+    for value in (5.0, 6.0, 7.0):  # ready needs period+1 = 4 points
+        model.observe(value)
+    assert model._residuals == [0.0, 0.0, 0.0]
+
+
 def test_exact_seasonal_series_is_predicted_exactly():
     """A perfectly periodic series has zero forecast error once ready."""
     model = SeasonalArima(period=4, theta=0.0, seasonal_theta=0.0)

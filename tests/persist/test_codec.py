@@ -1,0 +1,114 @@
+"""Tests for the versioned on-disk checkpoint format."""
+
+import json
+
+import pytest
+
+from repro.persist import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointVersionError,
+    canonical_json,
+    payload_digest,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.persist.codec import FORMAT_NAME, SCHEMA_VERSION
+
+PAYLOAD = {"day": 3, "state": {"seed": 7, "values": [1.5, 2.25]}}
+
+
+def test_write_read_round_trip(tmp_path):
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    assert read_checkpoint(path) == PAYLOAD
+
+
+def test_document_structure(tmp_path):
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    document = json.loads(path.read_text())
+    assert document["format"] == FORMAT_NAME
+    assert document["schema_version"] == SCHEMA_VERSION
+    assert document["manifest"]["day"] == 3
+    assert document["manifest"]["payload_sha256"] == payload_digest(PAYLOAD)
+
+
+def test_floats_round_trip_exactly(tmp_path):
+    """JSON uses repr-based shortest round-trip: no ULP drift."""
+    values = [0.1, 1e-300, 123456.789012345, 2.0 ** -52]
+    path = write_checkpoint(tmp_path / "ck.json", {"day": 0, "v": values})
+    restored = read_checkpoint(path)["v"]
+    assert all(a == b for a, b in zip(restored, values))
+
+
+def test_canonical_json_is_key_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+
+def test_write_requires_day():
+    with pytest.raises(CheckpointError):
+        write_checkpoint("unused.json", {"state": {}})
+    with pytest.raises(CheckpointError):
+        write_checkpoint("unused.json", {"day": -1})
+    with pytest.raises(CheckpointError):
+        write_checkpoint("unused.json", {"day": "3"})
+
+
+def test_missing_file_raises_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        read_checkpoint(tmp_path / "nope.json")
+
+
+def test_invalid_json_is_corrupt(tmp_path):
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    path.write_text(path.read_text()[:40])  # simulate a truncated write
+    with pytest.raises(CheckpointCorruptError):
+        read_checkpoint(path)
+
+
+def test_wrong_format_is_corrupt(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"format": "something-else", "payload": {}}))
+    with pytest.raises(CheckpointCorruptError):
+        read_checkpoint(path)
+    path.write_text(json.dumps([1, 2, 3]))  # not even an object
+    with pytest.raises(CheckpointCorruptError):
+        read_checkpoint(path)
+
+
+def test_schema_version_mismatch(tmp_path):
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    document = json.loads(path.read_text())
+    document["schema_version"] = 999
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointVersionError):
+        read_checkpoint(path)
+
+
+def test_tampered_payload_is_corrupt(tmp_path):
+    """Editing any payload byte without re-digesting must be caught."""
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    document = json.loads(path.read_text())
+    document["payload"]["state"]["seed"] = 8
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointCorruptError, match="digest mismatch"):
+        read_checkpoint(path)
+
+
+def test_manifest_day_disagreement_is_corrupt(tmp_path):
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    document = json.loads(path.read_text())
+    document["manifest"]["day"] = 9
+    # Keep the digest valid so only the day cross-check can fire.
+    document["manifest"]["payload_sha256"] = payload_digest(
+        document["payload"])
+    path.write_text(json.dumps(document))
+    with pytest.raises(CheckpointCorruptError, match="disagrees"):
+        read_checkpoint(path)
+
+
+def test_write_is_atomic(tmp_path):
+    """A successful write leaves no temp file; rewriting replaces."""
+    path = write_checkpoint(tmp_path / "ck.json", PAYLOAD)
+    write_checkpoint(path, {"day": 3, "state": {"seed": 8}})
+    assert list(tmp_path.iterdir()) == [path]
+    assert read_checkpoint(path)["state"]["seed"] == 8

@@ -5,12 +5,21 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.streaming.adaptation import Adjustment, RateController
+from repro.streaming.video import QualityLevel
 
 
 def make_controller(**kwargs):
     defaults = dict(initial_level=3, tolerance=1.0, theta=1.5, hysteresis=1)
     defaults.update(kwargs)
     return RateController(**defaults)
+
+
+#: A three-rung ladder with rows distinguishable from Table 2's.
+CUSTOM_LADDER = (
+    QualityLevel(1, 160, 120, 250, 40.0, 0.5),
+    QualityLevel(2, 320, 240, 600, 80.0, 0.75),
+    QualityLevel(3, 640, 480, 1500, 120.0, 1.0),
+)
 
 
 def test_thresholds_match_equations():
@@ -81,6 +90,61 @@ def test_level_saturates_at_ladder_ends():
     bottom = make_controller(initial_level=1)
     assert bottom.observe(0.0) is Adjustment.NONE
     assert bottom.level == 1
+
+
+def test_custom_ladder_quality_resolves_custom_rows():
+    """Regression: ``quality`` indexed the global Table 2 ladder even
+    when the controller was configured with a custom one."""
+    ctrl = make_controller(initial_level=2, ladder=CUSTOM_LADDER)
+    assert ctrl.quality is CUSTOM_LADDER[1]
+    assert ctrl.quality.bitrate_kbps == 600
+    ctrl.observe(ctrl.up_threshold + 1.0)
+    assert ctrl.level == 3
+    assert ctrl.quality is CUSTOM_LADDER[2]
+
+
+def test_custom_ladder_validates_initial_level():
+    """Regression: a level valid for Table 2 but beyond a shorter custom
+    ladder was accepted (then crashed later in ``quality``)."""
+    with pytest.raises(ValueError):
+        make_controller(initial_level=4, ladder=CUSTOM_LADDER)
+    # ...and a longer ladder must accept levels beyond Table 2's range.
+    long_ladder = CUSTOM_LADDER + (
+        QualityLevel(4, 1280, 720, 2500, 160.0, 1.0),
+        QualityLevel(5, 1920, 1080, 4000, 200.0, 1.0),
+        QualityLevel(6, 3840, 2160, 8000, 240.0, 1.0),
+    )
+    ctrl = make_controller(initial_level=6, ladder=long_ladder)
+    assert ctrl.quality is long_ladder[5]
+
+
+def test_saturated_trigger_consumes_streak():
+    """Regression: a trigger firing at the ladder boundary left the
+    streak saturated, so one post-boundary estimate could adjust
+    immediately, bypassing hysteresis."""
+    ctrl = make_controller(initial_level=5, hysteresis=3)
+    high = ctrl.up_threshold + 1.0
+    for _ in range(3):
+        ctrl.observe(high)  # third estimate fires at the top: no-op
+    assert ctrl.level == 5
+    # External drop (e.g. a re-join at a lower level): the next high
+    # estimate must start a fresh streak, not fire on the stale one.
+    ctrl.level = 3
+    assert ctrl.observe(high) is Adjustment.NONE
+    assert ctrl.observe(high) is Adjustment.NONE
+    assert ctrl.observe(high) is Adjustment.UP
+    assert ctrl.level == 4
+
+
+def test_saturated_down_trigger_consumes_streak():
+    ctrl = make_controller(initial_level=1, hysteresis=2)
+    ctrl.observe(0.0)
+    ctrl.observe(0.0)  # fires at the bottom: no-op, streak consumed
+    assert ctrl.level == 1
+    ctrl.level = 3
+    assert ctrl.observe(0.0) is Adjustment.NONE
+    assert ctrl.observe(0.0) is Adjustment.DOWN
+    assert ctrl.level == 2
 
 
 def test_disabled_controller_never_adjusts():

@@ -6,6 +6,7 @@ only modules at its own rank or below::
 
     100  repro.experiments.*
      90  repro.core.system          (façade)
+     90  repro.persist              (checkpoint/resume driver)
      80  repro.core.sweep           (orchestrator)
      70  repro.faults.handlers      (fault stage)
      60  repro.core.scoring
@@ -44,6 +45,7 @@ RANKS = {
     "repro.__main__": 100,  # CLI entry point drives experiments
     "repro.experiments": 100,
     "repro.core.system": 90,
+    "repro.persist": 90,   # drives core.sweep for resumed schedules
     "repro.core.sweep": 80,
     "repro.faults.handlers": 70,
     "repro.core.scoring": 60,
