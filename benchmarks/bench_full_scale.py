@@ -1,13 +1,27 @@
-"""Opt-in full-paper-scale runs.
+"""Opt-in full-paper-scale runs, plus the trend snapshot writer.
 
 The default benches run at 1-10 % of the paper's population so the whole
 suite finishes in minutes.  Set ``CLOUDFOG_FULL_SCALE=1`` to run the
 coverage experiment at the paper's exact scale — 100,000 players,
 600 supernodes, 25 datacenters — and a 10 %-scale end-to-end system
 comparison.  Without the flag these tests skip.
+
+Run standalone to (re)generate the committed trend snapshot::
+
+    PYTHONPATH=src python benchmarks/bench_full_scale.py --scale 0.1
+
+writes ``benchmarks/results/BENCH_full_scale.json`` — wall-clock and
+throughput of a Cloud vs CloudFog/A comparison plus the paper's headline
+quality ratios (cloud-bandwidth offload, continuity gain, coverage),
+which are deterministic at a fixed scale/seed and therefore diffable
+across commits with ``tools/bench_trend.py``.
 """
 
+import argparse
+import json
 import os
+import pathlib
+import time
 
 import pytest
 
@@ -17,6 +31,8 @@ from repro.experiments import (
     peersim,
     run_variant,
 )
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 FULL_SCALE = os.environ.get("CLOUDFOG_FULL_SCALE") == "1"
 skip_unless_full = pytest.mark.skipif(
@@ -53,3 +69,81 @@ def test_full_scale_system_comparison(benchmark, emit):
     cloud, fog = benchmark.pedantic(run, rounds=1, iterations=1)
     assert fog.mean_cloud_bandwidth_mbps < cloud.mean_cloud_bandwidth_mbps
     assert fog.mean_continuity > cloud.mean_continuity
+
+
+# ---------------------------------------------------------------------------
+# standalone snapshot writer (tools/bench_trend.py diffs these)
+# ---------------------------------------------------------------------------
+def snapshot(scale: float, days: int, seed: int) -> dict:
+    testbed = peersim(scale)
+
+    t0 = time.perf_counter()
+    dc = fig4a_coverage_vs_datacenters(testbed)
+    sn = fig4b_coverage_vs_supernodes(testbed)
+    coverage_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    cloud = run_variant("Cloud", testbed, seed=seed, days=days)
+    cloud_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fog = run_variant("CloudFog/A", testbed, seed=seed, days=days)
+    fog_s = time.perf_counter() - t0
+
+    return {
+        "workload": {"scale": scale, "players": testbed.num_players,
+                     "supernodes": testbed.num_supernodes,
+                     "days": days, "seed": seed,
+                     "cpu_count": os.cpu_count()},
+        "coverage": {
+            "wall_s": coverage_s,
+            "final_90ms_datacenters": dc.column("90ms")[-1],
+            "final_90ms_supernodes": sn.column("90ms")[-1],
+        },
+        "comparison": {
+            "cloud_wall_s": cloud_s,
+            "fog_wall_s": fog_s,
+            "fog_sessions_per_s": len(fog.sessions) / fog_s,
+            # The paper's headline ratios — deterministic at fixed
+            # scale/seed, so a trend diff catches quality regressions
+            # (not just slowdowns).  Offload: how much cloud egress the
+            # fog tier absorbs (higher is better).
+            "bandwidth_offload_ratio":
+                1.0 - (fog.mean_cloud_bandwidth_mbps
+                       / cloud.mean_cloud_bandwidth_mbps),
+            "continuity_gain":
+                fog.mean_continuity - cloud.mean_continuity,
+            "supernode_coverage": fog.supernode_coverage,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Snapshot the scaled end-to-end benchmark to JSON.")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="fraction of the paper's 100k-player "
+                             "population (default 0.1)")
+    parser.add_argument("--days", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--output", default=None,
+                        help="output path (default benchmarks/results/"
+                             "BENCH_full_scale.json)")
+    args = parser.parse_args(argv)
+
+    results = snapshot(args.scale, args.days, args.seed)
+    output = pathlib.Path(args.output) if args.output else \
+        RESULTS_DIR / "BENCH_full_scale.json"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+
+    comparison = results["comparison"]
+    print(f"comparison: fog {comparison['fog_wall_s']:.1f}s "
+          f"({comparison['fog_sessions_per_s']:,.0f} sessions/s), "
+          f"offload {comparison['bandwidth_offload_ratio']:.3f}, "
+          f"continuity gain {comparison['continuity_gain']:.3f}")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

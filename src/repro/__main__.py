@@ -19,17 +19,26 @@ Checkpoint & resume (see :mod:`repro.persist` and README)::
 ``--supernodes``, ``--seed``, ``--faults``) and prints its summary
 table; a resumed run reproduces the uninterrupted run bit for bit.
 
-Observability (see :mod:`repro.obs` and README "Observability")::
+Observability (see :mod:`repro.obs` and README "Monitoring a run")::
 
     python -m repro fig10 --trace trace.jsonl --metrics metrics.prom \
         --log-level info --profile
+    python -m repro run --days 6 --faults examples/chaos_scenario.json \
+        --obs-dir rundir --serve 9099    # scrape localhost:9099/metrics
+    python -m repro report rundir        # SLO verdicts + fault timeline
 
 ``--trace`` writes finished spans as JSON lines, ``--metrics`` writes a
 Prometheus text exposition (``.json`` suffix switches to the JSON dump),
 ``--profile`` prints a per-phase wall-clock table, and ``--log-level``
-turns on key=value logging on stderr.  Any of these flags enables the
-otherwise-zero-cost instrumentation; results are bit-identical either
-way.
+turns on key=value logging on stderr.  ``--obs-dir`` captures the whole
+telemetry bundle (trace, metrics, per-day time series, event log, SLO
+verdicts) into a run directory; ``--serve`` exposes ``/metrics`` (live
+Prometheus text), ``/snapshot.json`` and ``/healthz`` on localhost while
+the run executes; ``--slo`` swaps the default QoE policy for one loaded
+from JSON.  ``report`` renders a run directory as markdown + JSON —
+per-stage profile, SLO verdicts with violating days, fault timeline and
+region breakdowns.  Any of these flags enables the otherwise-zero-cost
+instrumentation; results are bit-identical either way.
 
 Figures run at the reduced benchmark scales; for custom scales use the
 :mod:`repro.experiments` API directly.
@@ -78,7 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Reproduce a figure of the CloudFog paper.")
     parser.add_argument("figure",
-                        help="figure name (e.g. fig4a) or 'list'")
+                        help="figure name (e.g. fig4a), 'run', "
+                             "'report' or 'list'")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="run directory ('report' command only)")
     parser.add_argument("--seed", type=int, default=0,
                         help="experiment seed (default 0)")
     parser.add_argument("--players", type=int, nargs="+", default=None,
@@ -129,6 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="enable key=value logging at this level "
                             "(debug/info/warning/error; also settable "
                             "via REPRO_LOG_LEVEL)")
+    group.add_argument("--obs-dir", metavar="DIR", default=None,
+                       help="write the full telemetry bundle (trace, "
+                            "metrics, time series, events, SLO verdicts) "
+                            "into DIR after the run; render it with "
+                            "'python -m repro report DIR'")
+    group.add_argument("--slo", metavar="PATH", default=None,
+                       help="SLO policy JSON evaluated over the per-day "
+                            "time series (default: the calibrated "
+                            "built-in policy)")
+    group.add_argument("--serve", metavar="PORT", type=int, default=None,
+                       help="serve live /metrics (Prometheus text), "
+                            "/snapshot.json and /healthz on "
+                            "localhost:PORT while the run executes "
+                            "(0 = any free port)")
     return parser
 
 
@@ -140,7 +166,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<8} {doc}")
         print(f"{'run':<8} Run one system, with optional "
               f"checkpoint/resume (--checkpoint-dir, --resume-from).")
+        print(f"{'report':<8} Render a run directory (--obs-dir) as a "
+              f"markdown + JSON report.")
         return 0
+    if args.figure == "report":
+        return _report_command(args)
+    if args.target is not None:
+        print(f"{args.figure} does not take a run directory",
+              file=sys.stderr)
+        return 2
     if args.figure == "run":
         code = _setup_observability(args)
         if code:
@@ -148,6 +182,7 @@ def main(argv: list[str] | None = None) -> int:
         code = _run_command(args)
         if code == 0 and _observing(args):
             _export_observability(args)
+        _teardown_observability(args)
         return code
     if args.figure not in FIGURES:
         print(f"unknown figure {args.figure!r}; try 'list'",
@@ -189,12 +224,14 @@ def main(argv: list[str] | None = None) -> int:
         print(table)
     if observing:
         _export_observability(args)
+        _teardown_observability(args)
     return 0
 
 
 def _observing(args) -> bool:
     return bool(args.trace or args.metrics or args.profile
-                or args.log_level)
+                or args.log_level or args.obs_dir
+                or args.serve is not None)
 
 
 def _setup_observability(args) -> int:
@@ -213,11 +250,43 @@ def _setup_observability(args) -> int:
                 print(f"cannot write {path}: {exc}", file=sys.stderr)
                 return 2
     try:
+        policy = _load_policy(args)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load SLO policy {args.slo}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
         obs.enable(log_level=args.log_level)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if args.serve is not None:
+        from .obs.server import start_server
+        try:
+            args._obs_server = start_server(port=args.serve,
+                                            policy=policy)
+        except OSError as exc:
+            obs.disable()
+            print(f"cannot serve on port {args.serve}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"[obs] serving metrics on {args._obs_server.url}",
+              file=sys.stderr)
     return 0
+
+
+def _load_policy(args):
+    """The policy behind ``--slo``, or None for the built-in default."""
+    if getattr(args, "slo", None) is None:
+        return None
+    from .obs.slo import load_policy
+    return load_policy(args.slo)
+
+
+def _teardown_observability(args) -> None:
+    server = getattr(args, "_obs_server", None)
+    if server is not None:
+        server.close()
 
 
 def _run_command(args) -> int:
@@ -276,9 +345,52 @@ def _export_observability(args) -> None:
             registry.write_prometheus(args.metrics)
         print(f"[obs] wrote {len(registry)} metrics to {args.metrics}",
               file=sys.stderr)
+    if args.obs_dir:
+        from .obs.report import write_run_dir
+        meta = {"command": args.figure, "seed": args.seed}
+        if args.figure == "run":
+            meta.update(variant=args.variant, days=args.days,
+                        supernodes=args.supernodes,
+                        players=(args.players[0] if args.players
+                                 else None),
+                        faults=args.faults)
+        meta = {key: value for key, value in meta.items()
+                if value is not None}
+        written = write_run_dir(args.obs_dir, policy=_load_policy(args),
+                                meta=meta)
+        print(f"[obs] wrote run directory {args.obs_dir} "
+              f"({len(written)} files); render it with "
+              f"'python -m repro report {args.obs_dir}'",
+              file=sys.stderr)
     if args.profile:
         print()
         print(obs.profile_table(tracer))
+
+
+def _report_command(args) -> int:
+    """The ``report`` command: render a run directory's telemetry."""
+    from .obs.report import render_report, write_report
+
+    if args.target is None:
+        print("report needs a run directory: "
+              "python -m repro report <obs-dir>", file=sys.stderr)
+        return 2
+    try:
+        policy = _load_policy(args)
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load SLO policy {args.slo}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        markdown, payload = render_report(args.target, policy=policy)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"report failed: {exc}", file=sys.stderr)
+        return 1
+    written = write_report(args.target, markdown, payload)
+    print(markdown)
+    print(f"[obs] wrote {', '.join(str(p) for p in written)}",
+          file=sys.stderr)
+    return 0
 
 
 if __name__ == "__main__":

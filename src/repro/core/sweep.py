@@ -31,7 +31,8 @@ from .. import obs
 from ..faults import handlers
 from ..workload.churn import PlayerDayPlan, sample_day_plans
 from ..workload.population import choose_game
-from .accounting import RunResult, SweepLoads, credit_contributors, summarize_day
+from .accounting import (RunResult, SweepLoads, cloud_bandwidth,
+                         credit_contributors, summarize_day)
 from .entities import ConnectionKind
 from .lifecycle import join
 from .scoring import score_sessions
@@ -41,7 +42,8 @@ from .state import Session, SimState, deploy
 __all__ = ["SweepContext", "SUBCYCLE_STAGES", "stage_departures",
            "stage_faults", "stage_arrivals", "sample_plans",
            "choose_games", "sweep_day", "run_server_assignment",
-           "run_provisioning", "run_day", "run_schedule"]
+           "run_provisioning", "day_end_flush", "run_day",
+           "run_schedule"]
 
 _log = obs.get_logger(__name__)
 
@@ -255,11 +257,45 @@ def run_provisioning(state: SimState, plans: list[PlayerDayPlan],
 # ----------------------------------------------------------------------
 # one day / full schedule
 # ----------------------------------------------------------------------
+def day_end_flush(state: SimState, day: int, records, loads,
+                  cloud_rate, result: RunResult, fault_base) -> None:
+    """Flush one finished day into the telemetry time series.
+
+    ``fault_base`` is the run-wide fault accounting captured at day
+    start (:func:`_fault_counts`): the flush records only this day's
+    deltas.  A no-op (never called) while observability is disabled —
+    the store computes MOS and percentiles, which a disabled run must
+    not pay for.
+    """
+    faults = result.faults
+    base = fault_base or (0, 0, 0, 0, 0, 0)
+    obs.get_timeseries().observe_day(
+        day=day, records=records, region_of=state.nearest_dc,
+        cloud_bandwidth_mbps=cloud_bandwidth(state, cloud_rate, loads),
+        fault_deltas={
+            "displaced": faults.displaced - base[0],
+            "recovered": faults.recovered - base[1],
+            "degraded": faults.degraded - base[2],
+            "dropped": faults.dropped - base[3],
+            "retries": faults.retries - base[4],
+        },
+        recovery_ms=faults.time_to_recover_ms[base[5]:])
+
+
+def _fault_counts(result: RunResult) -> tuple[int, ...]:
+    faults = result.faults
+    return (faults.displaced, faults.recovered, faults.degraded,
+            faults.dropped, faults.retries,
+            len(faults.time_to_recover_ms))
+
+
 def run_day(state: SimState, day: int, result: RunResult,
             measuring: bool) -> None:
     config = state.config
     tracer = obs.get_tracer()
     registry = obs.get_registry()
+    timeseries = obs.get_timeseries()
+    fault_base = _fault_counts(result) if timeseries.enabled else None
     day_span = tracer.span("run_day", day=day, measuring=measuring,
                            mode=config.mode)
     state.current_day = day
@@ -316,6 +352,9 @@ def run_day(state: SimState, day: int, result: RunResult,
             if count:
                 registry.counter("repro_sessions_total",
                                  kind=kind.value).inc(count)
+        if timeseries.enabled:
+            day_end_flush(state, day, records, loads, cloud_rate,
+                          result, fault_base)
         day_span.annotate(sessions=len(records))
         _log.debug("day done", extra=obs.kv(
             day=day, measuring=measuring, sessions=len(records)))

@@ -10,12 +10,17 @@ parallel path is pinned against the sequential one by tests.
 
 Two deliberate choices:
 
-* **Per-worker obs isolation.**  On Linux the pool forks, so workers
-  inherit the parent's *enabled* observability runtime.  Worker-side
-  spans and metrics would be both lost (they live in the worker's
-  memory) and paid for, so each task starts by calling
-  :func:`repro.obs.disable` in the worker; the parent keeps the
-  sweep-level spans.
+* **Obs propagation + registry merge.**  Process workers do not share
+  the parent's observability runtime (spawn-started children begin
+  with the null objects; fork-started children inherit stale live
+  ones), so the pool's initializer carries the parent's
+  :func:`repro.obs.enablement` flags into every worker and each task
+  re-enables a *fresh* runtime matching them.  On collect, the
+  worker's metrics dump is folded back into the parent registry
+  (:meth:`~repro.obs.MetricsRegistry.merge_dump`) in task order, so
+  counters and histograms come out identical to a sequential run.
+  Worker-side spans/time series stay worker-local (they describe runs,
+  not the sweep); the parent keeps the sweep-level spans.
 * **Ordered merge.**  Futures are collected as submitted and results
   are returned in task order, never completion order, keeping callers
   (table builders indexing by ``(players, variant)``) deterministic.
@@ -57,11 +62,37 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
-def _run_variant_task(task: VariantTask) -> RunResult:
-    """Worker entry point: run one task with observability silenced."""
+#: Obs enablement flags installed by the pool initializer (per worker).
+_WORKER_OBS_FLAGS: dict | None = None
+
+
+def _obs_worker_init(flags: dict) -> None:
+    """Pool initializer: remember the parent's obs enablement."""
+    global _WORKER_OBS_FLAGS
+    _WORKER_OBS_FLAGS = dict(flags)
+
+
+def _run_variant_task(task: VariantTask) -> tuple[RunResult, dict | None]:
+    """Worker entry point: run one task under the parent's obs flags.
+
+    Always starts from a fresh runtime (fork-started workers inherit
+    the parent's live objects — reusing them would double-count across
+    tasks), runs, then returns the result plus the worker registry's
+    dump for the parent-side merge.
+    """
+    flags = _WORKER_OBS_FLAGS or {}
     obs.disable()
-    return run_variant(task.variant, task.testbed, seed=task.seed,
-                       days=task.days, **task.overrides)
+    if any(flags.values()):
+        obs.enable(tracing=flags.get("tracing", False),
+                   metrics=flags.get("metrics", False),
+                   timeseries=flags.get("timeseries", False),
+                   events=flags.get("events", False))
+    result = run_variant(task.variant, task.testbed, seed=task.seed,
+                         days=task.days, **task.overrides)
+    registry = obs.get_registry()
+    dump = registry.as_dict() if registry.enabled else None
+    obs.disable()
+    return result, dump
 
 
 def run_variants(tasks, jobs: int | None = None) -> list[RunResult]:
@@ -83,10 +114,18 @@ def run_variants(tasks, jobs: int | None = None) -> list[RunResult]:
             return [run_variant(task.variant, task.testbed, seed=task.seed,
                                 days=task.days, **task.overrides)
                     for task in tasks]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with ProcessPoolExecutor(max_workers=workers,
+                                 initializer=_obs_worker_init,
+                                 initargs=(obs.enablement(),)) as pool:
             futures = [pool.submit(_run_variant_task, task)
                        for task in tasks]
-            return [future.result() for future in futures]
+            results = []
+            for future in futures:
+                result, dump = future.result()
+                if dump:
+                    registry.merge_dump(dump)
+                results.append(result)
+            return results
 
 
 def run_seeds(variant: str, testbed: Testbed, seeds, days: int = 3,

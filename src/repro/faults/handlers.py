@@ -36,10 +36,16 @@ def apply_faults(state: SimState, day, subcycle, sessions, loads,
                  cloud_rate, frng, result, measuring, hours) -> None:
     """Fire every fault scheduled for this (day, subcycle)."""
     registry = obs.get_registry()
+    event_log = obs.get_events()
     for event in state.faults.events_at(day, subcycle):
         result.faults.events_applied += 1
         registry.counter("repro_faults_injected_total",
                          kind=event.kind).inc()
+        event_log.emit("fault_injected", day=day, subcycle=subcycle,
+                       fault_kind=event.kind, count=event.count,
+                       severity=event.severity,
+                       supernode_id=event.supernode_id,
+                       extra_ms=event.extra_ms)
         if event.kind == "crash":
             inject_crash(state, event, day, subcycle, sessions, loads,
                          cloud_rate, frng, result, measuring, hours)
@@ -84,6 +90,7 @@ def inject_crash(state: SimState, event, day, subcycle, sessions, loads,
         return
     orphan_sets = take_offline(state, targets)
     registry = obs.get_registry()
+    event_log = obs.get_events()
     detector = state.failure_detector
     transient = state.faults.plan.transient_refusal_prob
     counts, rates = loads.counts, loads.rates
@@ -100,6 +107,9 @@ def inject_crash(state: SimState, event, day, subcycle, sessions, loads,
                 # out of band): account it as dropped, not lost.
                 summary.dropped += 1
                 registry.counter("repro_fault_dropped_total").inc()
+                event_log.emit("session_dropped", day=day,
+                               subcycle=subcycle, player=player,
+                               supernode_id=sn.supernode_id)
                 continue
             game = state.games[player]
             start, end = session_window(session, hours)
@@ -109,6 +119,9 @@ def inject_crash(state: SimState, event, day, subcycle, sessions, loads,
                 counts[row, span] -= 1
                 rates[row, span] -= game.stream_rate_mbps
             detection = detector.detection_latency_ms(frng)
+            event_log.emit("detector_trip", day=day, subcycle=subcycle,
+                           player=player, supernode_id=sn.supernode_id,
+                           detection_ms=detection)
             l_max = delay_threshold_ms(game.latency_requirement_ms)
             outcome = migrate(state, player, l_max, frng,
                               transient_refusal=transient)
@@ -137,6 +150,11 @@ def inject_crash(state: SimState, event, day, subcycle, sessions, loads,
                 registry.histogram(
                     "repro_time_to_recover_ms",
                     buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(ttr)
+                event_log.emit("migration", day=day, subcycle=subcycle,
+                               player=player,
+                               from_supernode=sn.supernode_id,
+                               to_supernode=outcome.supernode_id,
+                               retries=retries, ttr_ms=ttr)
             else:
                 # Graceful degradation: the cloud streams directly
                 # for the rest of the session.
@@ -150,6 +168,10 @@ def inject_crash(state: SimState, event, day, subcycle, sessions, loads,
                 cloud_rate[span] += rate
                 summary.degraded += 1
                 registry.counter("repro_fault_degraded_total").inc()
+                event_log.emit("cloud_fallback", day=day,
+                               subcycle=subcycle, player=player,
+                               from_supernode=sn.supernode_id,
+                               retries=retries, ttr_ms=ttr)
             # The stream stalled for detection + reconnect: charge
             # the gap against the session's remaining play time.
             remaining_ms = max(1.0,

@@ -58,10 +58,17 @@ def _label_key(labels: Mapping[str, object]) -> LabelItems:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r"\""))
+
+
 def _render_labels(labels: LabelItems) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in labels)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"'
+                    for key, value in labels)
     return "{" + body + "}"
 
 
@@ -251,6 +258,38 @@ class MetricsRegistry:
             out.setdefault(metric.name, []).append(entry)
         return out
 
+    def merge_dump(self, dump: Mapping[str, list]) -> None:
+        """Fold an :meth:`as_dict` dump from another registry into this one.
+
+        Counters and histogram state add; gauges take the dump's value
+        (last writer wins — gauges are point-in-time readings).  The
+        parallel sweep uses this to merge per-worker registries back
+        into the parent after a :class:`~concurrent.futures.
+        ProcessPoolExecutor` fan-out.
+        """
+        for name, entries in dump.items():
+            for entry in entries:
+                labels = entry.get("labels", {})
+                kind = entry.get("kind")
+                if kind == "counter":
+                    self.counter(name, **labels).inc(entry["value"])
+                elif kind == "gauge":
+                    self.gauge(name, **labels).set(entry["value"])
+                elif kind == "histogram":
+                    hist = self.histogram(name, buckets=entry["buckets"],
+                                          **labels)
+                    if tuple(hist.buckets) != tuple(entry["buckets"]):
+                        raise ValueError(
+                            f"histogram {name!r} bucket mismatch on merge: "
+                            f"{hist.buckets} != {tuple(entry['buckets'])}")
+                    for index, count in enumerate(entry["counts"]):
+                        hist.counts[index] += count
+                    hist.sum += entry["sum"]
+                    hist.count += entry["count"]
+                else:
+                    raise ValueError(
+                        f"metric {name!r} has unknown kind {kind!r}")
+
     def to_json(self, indent: int | None = None) -> str:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
@@ -324,6 +363,9 @@ class NullRegistry:
         return 0
 
     def reset(self) -> None:
+        pass
+
+    def merge_dump(self, dump: Mapping[str, list]) -> None:
         pass
 
     def to_prometheus(self) -> str:

@@ -50,14 +50,26 @@ def checkpoint_path(directory: str | Path, day: int) -> Path:
 
 def save_checkpoint(path: str | Path, state: SimState, result: RunResult,
                     day: int, total_days: int) -> Path:
-    """Snapshot a run after ``day`` finished; returns the written path."""
+    """Snapshot a run after ``day`` finished; returns the written path.
+
+    When telemetry is live (:func:`repro.obs.enable`), the accumulated
+    time series and event log ride along under a ``telemetry`` key —
+    the save event itself is emitted first so it is carried too — and
+    :func:`load_checkpoint` reloads them, so a resumed run's telemetry
+    matches the uninterrupted run's.  Disabled runs write the exact
+    payload they always did.
+    """
     with obs.get_tracer().span("checkpoint_save", day=day):
+        obs.get_events().emit("checkpoint_save", day=day, path=str(path))
         payload = {
             "day": day,
             "run": {"total_days": total_days},
             "state": capture_state(state),
             "result": capture_result(result),
         }
+        telemetry = obs.capture_telemetry()
+        if telemetry is not None:
+            payload["telemetry"] = telemetry
         written = write_checkpoint(path, payload)
     registry = obs.get_registry()
     registry.counter("repro_checkpoint_saves_total").inc()
@@ -76,7 +88,12 @@ class LoadedCheckpoint:
 
 
 def load_checkpoint(path: str | Path) -> LoadedCheckpoint:
-    """Read + verify a checkpoint and rebuild live state from it."""
+    """Read + verify a checkpoint and rebuild live state from it.
+
+    Telemetry carried by the checkpoint is reloaded into the *live*
+    observability objects (a no-op unless :func:`repro.obs.enable` ran
+    before resuming), then a ``checkpoint_load`` event marks the seam.
+    """
     with obs.get_tracer().span("checkpoint_load", path=str(path)):
         payload = read_checkpoint(path)
         loaded = LoadedCheckpoint(
@@ -84,6 +101,9 @@ def load_checkpoint(path: str | Path) -> LoadedCheckpoint:
             total_days=payload["run"]["total_days"],
             state=restore_state(payload["state"]),
             result=restore_result(payload["result"]))
+        obs.restore_telemetry(payload.get("telemetry"))
+        obs.get_events().emit("checkpoint_load", day=payload["day"],
+                              path=str(path))
     obs.get_registry().counter("repro_checkpoint_loads_total").inc()
     return loaded
 

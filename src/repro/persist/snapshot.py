@@ -40,7 +40,13 @@ Bit-identical resume rests on two audited facts (DESIGN.md §11):
    * retry/backoff state — :class:`~repro.faults.retry.RetryPolicy`
      and :class:`~repro.faults.detection.FailureDetector` are frozen;
      attempt counters live on the stack inside ``lifecycle.migrate``;
-   * obs tracer/registry — telemetry, not simulation state.
+   * obs tracer/registry — telemetry, not simulation state.  The
+     accumulated *telemetry series* (time-series samples + event log)
+     does ride along, but at the checkpoint layer — an optional
+     ``telemetry`` payload key written by
+     :func:`~repro.persist.checkpoint.save_checkpoint` via
+     :func:`repro.obs.capture_telemetry` — precisely so this
+     simulation-state inventory stays simulation-only.
 
 Payloads are pure JSON values.  ``json`` round-trips finite floats
 exactly, and integer dict keys are stored as explicit pairs (JSON

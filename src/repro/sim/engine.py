@@ -345,14 +345,19 @@ class Environment:
         self._eid = 0
         self._active_process: Optional[Process] = None
         self.events_processed = 0
-        # Bound once: step() is the hottest loop in the repo, so it pays
-        # one no-op call when observability is disabled, not a registry
-        # lookup.  Environments must be created after obs.enable() to
-        # be observed (see repro.obs docs).
-        self._obs_events = obs.get_registry().counter(
-            "repro_des_events_total")
         self._trace_steps = trace_steps
         self._step_log = obs.get_logger(__name__) if trace_steps else None
+        # Bound once: step() is the hottest loop in the repo, so it pays
+        # one no-op call when observability is disabled, not a registry
+        # lookup.  Registered with the obs binding registry, so the
+        # counter follows enable()/disable() even for environments
+        # constructed before the switch flipped.
+        obs.bind_instruments(self)
+
+    def rebind_instruments(self) -> None:
+        """Re-fetch construction-bound instruments (obs switch flip)."""
+        self._obs_events = obs.get_registry().counter(
+            "repro_des_events_total")
 
     @property
     def now(self) -> float:

@@ -1,0 +1,49 @@
+"""Acceptance pin: all four golden digests hold with observability ON.
+
+``tests/obs/conftest``-style hygiene is inlined here (this package has
+no obs fixtures): every test enables the full five-pillar runtime and
+restores the null state afterwards.  Together with
+``test_equivalence.py`` (obs off) this proves the telemetry pipeline —
+day-end flushes, event emission, gauge mirroring — perturbs no RNG
+stream and no numeric output.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core import CloudFogSystem
+
+from ..helpers.golden import fault_summary_digest, run_result_digest
+from .regen_golden import CHAOS_SCENARIOS, SCENARIOS
+from .test_equivalence import GOLDEN
+
+
+@pytest.fixture(autouse=True)
+def _full_observability():
+    obs.enable()
+    yield
+    obs.disable()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_baseline_digests_hold_with_observability_on(name):
+    result = CloudFogSystem(SCENARIOS[name]).run(days=2)
+    assert run_result_digest(result) == GOLDEN[name]
+    # the run also actually produced telemetry
+    store = obs.get_timeseries()
+    assert store.days() == [0, 1]
+    assert all(s.faults_displaced == 0 for s in store.samples())
+
+
+def test_chaos_digests_hold_with_observability_on():
+    result = CloudFogSystem(CHAOS_SCENARIOS["chaos_advanced"]).run(days=2)
+    assert run_result_digest(result) == GOLDEN["chaos_advanced"]
+    assert fault_summary_digest(result.faults) \
+        == GOLDEN["chaos_advanced_faults"]
+    # telemetry saw the injected chaos: events and per-day fault deltas
+    events = obs.get_events()
+    injected = list(events.iter_events(kind="fault_injected"))
+    assert len(injected) == 5
+    displaced_days = [s.day for s in obs.get_timeseries().samples("all")
+                      if s.faults_displaced > 0]
+    assert displaced_days, "chaos run must show displacement telemetry"

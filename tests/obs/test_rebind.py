@@ -1,0 +1,66 @@
+"""Satellite pin: instruments bind at construction time, so flipping the
+global switch must *re*-bind already-constructed hot-path objects.
+
+Before the rebind registry existed, an ``Environment`` built while
+observability was off kept its null counter forever — enabling obs
+mid-session silently dropped its DES-event counts.  These tests pin the
+fix: :func:`repro.obs.bind_instruments` re-binds on every enable/disable
+flip, and the registry holds weak references so short-lived objects
+(one ``Environment`` per join) do not accumulate.
+"""
+
+import gc
+import weakref
+
+from repro import obs
+from repro.sim.engine import Environment
+
+
+def _two_timeouts(env):
+    yield env.timeout(1.0)
+    yield env.timeout(2.0)
+
+
+def _drive(env):
+    env.process(_two_timeouts(env))
+    env.run()
+
+
+def test_environment_constructed_before_enable_is_counted():
+    env = Environment()  # bound to the null registry at construction
+    _, registry = obs.enable()
+    _drive(env)
+    assert env.events_processed > 0
+    assert registry.counter("repro_des_events_total").value \
+        == env.events_processed
+
+
+def test_disable_rebinds_back_to_null():
+    _, registry = obs.enable()
+    env = Environment()
+    obs.disable()
+    _drive(env)  # must not touch the (now dead) live registry
+    assert env.events_processed > 0
+    assert registry.counter("repro_des_events_total").value == 0
+
+
+def test_each_enable_gets_a_fresh_registry():
+    env = Environment()
+    _, first = obs.enable()
+    _drive(env)
+    first_count = first.counter("repro_des_events_total").value
+    assert first_count == env.events_processed
+    _, second = obs.enable()  # re-enable: fresh registry, re-bound
+    _drive(env)
+    assert second is not first
+    assert first.counter("repro_des_events_total").value == first_count
+    assert second.counter("repro_des_events_total").value > 0
+
+
+def test_bound_objects_are_weakly_held():
+    obs.enable()
+    env = Environment()
+    ref = weakref.ref(env)
+    del env
+    gc.collect()
+    assert ref() is None, "bind_instruments must not keep objects alive"
