@@ -1,0 +1,57 @@
+"""Dense columnar entity tables: parallel typed arrays over entity ids.
+
+The object layer (:class:`~repro.core.entities.Supernode`) keeps the
+per-entity API the pipeline mutates — ``connect``/``disconnect``/
+``fail`` and the scalar attribute reads the lifecycle stages make a
+handful of times per session.  The batch layer (directory scans,
+vectorised selection, probe latency math) instead reads these columns:
+one contiguous array per field, indexed by ``supernode_id``.
+
+Two kinds of columns coexist:
+
+* **Immutable columns** (coordinates, access delay, upload, capacity)
+  are written once when a pool entity binds to the store and never
+  change — the object keeps its own copy for scalar reads, so there is
+  no dual-write hazard.
+* **Derived mutable columns** — today the ``available`` byte per
+  supernode (``online and load < capacity``) — are refreshed by the
+  owning entity at every mutation that can change them.  Batch readers
+  (the spatial directory's ring scan, shard planners) test one byte
+  instead of chasing three Python properties per entry.
+
+The store is plain data: no methods mutate it except the owning
+entities.  It is *not* checkpointed — :mod:`repro.persist.snapshot`
+restores the mutable entity state through the entity setters, which
+refresh the derived columns as a side effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SupernodeColumns"]
+
+
+class SupernodeColumns:
+    """Parallel typed arrays over ``supernode_id`` for one pool.
+
+    Row ``i`` describes the supernode with ``supernode_id == i`` (the
+    pool index — an invariant of ``build_supernode_pool``, re-checked
+    on checkpoint restore).
+    """
+
+    __slots__ = ("size", "x_km", "y_km", "access_ms", "upload_mbps",
+                 "capacity", "available")
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size}")
+        self.size = size
+        self.x_km = np.zeros(size, dtype=np.float64)
+        self.y_km = np.zeros(size, dtype=np.float64)
+        self.access_ms = np.zeros(size, dtype=np.float64)
+        self.upload_mbps = np.zeros(size, dtype=np.float64)
+        self.capacity = np.zeros(size, dtype=np.int64)
+        #: 1 where the supernode is online with a free slot: the hot
+        #: byte the directory's candidate scan tests per entry.
+        self.available = bytearray(size)

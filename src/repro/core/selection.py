@@ -22,6 +22,7 @@ slowest candidate's RTT) and the connect handshake.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -62,15 +63,16 @@ def delay_threshold_ms(game_requirement_ms: float,
 class SupernodeDirectory:
     """The cloud's supernode table: locations and available capacities.
 
-    Lookups go through a uniform spatial grid over the supernode
-    coordinates: cells hold pool indices, and :meth:`candidates_for`
-    expands square rings around the player's cell until the ``count``
-    nearest available supernodes are guaranteed found (every point
-    outside rings ``0..r`` lies strictly farther than ``r`` cell widths
-    from the player, so the expansion stops as soon as the k-th best
-    distance fits inside the covered radius).  Capacity is masked
-    incrementally — only the candidates in visited cells are asked —
-    instead of re-scanning the whole pool per join.
+    When the supernodes share one columnar store (the usual case: one
+    pool, one :class:`~repro.core.columns.SupernodeColumns`),
+    :meth:`candidates_for` is a single vectorised pass — mask by the
+    shared availability bytes, partition out the ``count`` nearest —
+    whose cost is flat no matter how saturated the pool is.  Mixed or
+    unbound supernode sets fall back to a uniform spatial grid: cells
+    hold pool indices and the lookup expands square rings around the
+    player's cell until the ``count`` nearest available supernodes are
+    guaranteed found (every point outside rings ``0..r`` lies strictly
+    farther than ``r`` cell widths from the player).
     """
 
     def __init__(self, topology: Topology, supernodes: list[Supernode]):
@@ -84,6 +86,27 @@ class SupernodeDirectory:
         """(Re)derive coordinate arrays and the spatial grid."""
         self.supernodes = supernodes
         n = len(supernodes)
+        # Pool supernodes share one columnar store: the ring scan then
+        # tests a single availability byte per entry instead of three
+        # Python properties.  Mixed/unbound sets fall back to the
+        # per-object has_capacity path.
+        cols = supernodes[0].columns if supernodes else None
+        if cols is not None and all(sn.columns is cols for sn in supernodes):
+            self._avail: bytearray | None = cols.available
+            self._gids: list[int] | None = [sn.supernode_id
+                                            for sn in supernodes]
+            # Live uint8 view of the shared availability bytes (same
+            # memory — entity setters mutate it, the view sees it), plus
+            # the directory-index → global-id gather for the batch scan.
+            self._avail_np: np.ndarray | None = np.frombuffer(
+                cols.available, dtype=np.uint8)
+            self._gids_np: np.ndarray | None = np.array(self._gids,
+                                                        dtype=np.intp)
+        else:
+            self._avail = None
+            self._gids = None
+            self._avail_np = None
+            self._gids_np = None
         self._coords = np.array([[sn.x_km, sn.y_km] for sn in supernodes],
                                 dtype=np.float64).reshape(n, 2)
         self._access = np.array([sn.access_ms for sn in supernodes],
@@ -155,6 +178,34 @@ class SupernodeDirectory:
             raise ValueError("count must be >= 1")
         if not self.supernodes:
             return []
+        if self._avail_np is not None:
+            # Columnar pool: one vectorised pass over the whole table
+            # beats the ring scan, whose cost degrades towards a full
+            # linear probe exactly when it matters (peak hours, pool
+            # nearly saturated).  Output is identical: the k nearest
+            # available, ties broken by pool index (stable argsort on
+            # equal distances == the (distance², index) tuple sort).
+            px = float(self.topology.player_coords[player, 0])
+            py = float(self.topology.player_coords[player, 1])
+            idx = np.flatnonzero(self._avail_np[self._gids_np])
+            if idx.size == 0:
+                return []
+            dx = self._coords[idx, 0] - px
+            dy = self._coords[idx, 1] - py
+            d2 = dx * dx + dy * dy
+            supernodes = self.supernodes
+            if idx.size > count:
+                # O(n) select of the k nearest, then sort just those.
+                # Everything tied with the k-th distance comes along so
+                # the final (distance², index) order — ties broken by
+                # ascending pool index, as ``idx`` is ascending — never
+                # depends on how argpartition split equal keys.
+                bound = np.partition(d2, count - 1)[count - 1]
+                sel = np.flatnonzero(d2 <= bound)
+                order = sel[np.argsort(d2[sel], kind="stable")[:count]]
+            else:
+                order = np.argsort(d2, kind="stable")
+            return [supernodes[int(i)] for i in idx[order]]
         px, py, cx, cy = self._player_cell(player)
         max_ring = max(cx, self._grid_nx - 1 - cx,
                        cy, self._grid_ny - 1 - cy)
@@ -189,13 +240,28 @@ class SupernodeDirectory:
 
     def probe_delays_ms(self, player: int,
                         candidates: list[Supernode]) -> np.ndarray:
-        """One-way transmission delays from the player to each candidate."""
+        """One-way transmission delays from the player to each candidate.
+
+        Scalar mirror of ``players_to_points_one_way_ms`` for the
+        handful of candidates a join probes.  Operand order matches the
+        vectorised path bit for bit: ``pairwise_distances`` squares via
+        numpy's x*x fast path (mirrored as ``dx*dx``, never ``dx**2``,
+        which would round through libm pow) under a correctly rounded
+        sqrt, and ``one_way_ms`` adds left-associatively.
+        """
         if not candidates:
             return np.empty(0, dtype=np.float64)
-        coords = np.array([[sn.x_km, sn.y_km] for sn in candidates])
-        access = np.array([sn.access_ms for sn in candidates])
-        return self.topology.players_to_points_one_way_ms(
-            np.array([player]), coords, access)[0]
+        topo = self.topology
+        px = float(topo.player_coords[player, 0])
+        py = float(topo.player_coords[player, 1])
+        pa = float(topo.player_access_ms[player])
+        mskm = topo.latency_model.ms_per_km
+        out = np.empty(len(candidates), dtype=np.float64)
+        for j, sn in enumerate(candidates):
+            dx = px - sn.x_km
+            dy = py - sn.y_km
+            out[j] = pa + mskm * math.sqrt(dx * dx + dy * dy) + sn.access_ms
+        return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,332 @@
+"""Geographic sharding: per-region partitions, parallel sweeps, ordered merge.
+
+The day sweep is embarrassingly parallel *across regions*: a player
+joins supernodes near it, its datacenter is the nearest one, and the
+social machinery (game choice, server assignment) only reads friend
+edges.  This module exploits that by splitting one configured run into
+**fixed logical partitions — one per datacenter region** — each a
+complete, independent :class:`~repro.core.state.SimState` over the
+players whose nearest datacenter is that region's, executed with the
+ordinary staged sweep pipeline and merged deterministically afterwards.
+
+Three properties make the scheme reproducible:
+
+* **Partitioning is derived, not drawn.**  The parent population is
+  built exactly the way an unsharded :class:`SimState` builds it (the
+  ``population`` stream of the run seed), and players are split by
+  ``argmin`` over the player-datacenter distance matrix.  Same config,
+  same partitions — always.
+* **Shard count is worker parallelism only.**  ``shards`` says how many
+  processes execute the partitions; the partitions themselves (and each
+  partition's seed, derived via
+  ``RngFactory(seed).spawn("shard-{k}")``) never depend on it.  Runs
+  with 1, 2 or 4 shards are bit-identical by construction, which the
+  determinism tests in ``tests/persist`` pin.
+* **The merge is ordered.**  Partition results are folded in ascending
+  region order: session lists and latency samples concatenate, day
+  aggregates combine as sums/weighted means in that fixed order, fault
+  summaries merge counter-wise.  Float reductions therefore associate
+  the same way every run.
+
+Sharded semantics differ from an unsharded run by design (friendships
+crossing region borders are dropped, each region provisions and pools
+supernodes independently, per-region egress budgets), so sharded
+outputs get their *own* golden pins rather than claiming equality with
+the unsharded digests — the toggle discipline of DESIGN.md §12.
+
+Checkpoint/resume composes per partition: each partition checkpoints
+into its own ``shard-NN/`` subdirectory, and resume rebuilds the
+partition states deterministically from the parent config before
+overlaying the captured mutable state
+(:func:`repro.persist.snapshot.overlay_state`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from ..network.bandwidth import LinkBandwidths
+from ..network.topology import Topology
+from ..persist.checkpoint import Checkpointer, latest_checkpoint
+from ..persist.codec import read_checkpoint
+from ..persist.snapshot import overlay_state, restore_result
+from ..sim.rng import RngFactory
+from ..social.graph import FriendGraph
+from ..workload.population import Population, build_population
+from .accounting import DayMetrics, RunResult
+from .config import SystemConfig
+from .state import SimState
+from .sweep import run_schedule
+
+__all__ = ["ShardPartition", "build_partitions", "run_sharded",
+           "resume_sharded", "merge_results"]
+
+
+@dataclass(frozen=True)
+class ShardPartition:
+    """One region's slice of a sharded run.
+
+    ``player_ids`` holds the *global* ids of the partition's players in
+    ascending order; local player ``i`` inside the partition is global
+    player ``player_ids[i]``.  ``config`` is the parent config with the
+    partition's population size, infrastructure share and derived seed.
+    """
+
+    index: int
+    region: int
+    player_ids: np.ndarray
+    config: SystemConfig
+    population: Population
+
+
+def _largest_remainder_split(total: int, weights: list[int]) -> list[int]:
+    """Split ``total`` proportionally to ``weights`` (integer, exact).
+
+    Largest-remainder apportionment with ties broken by position, so
+    the split is deterministic and sums exactly to ``total``.
+    """
+    denom = sum(weights)
+    if denom == 0 or total == 0:
+        return [0] * len(weights)
+    quotas = [total * w / denom for w in weights]
+    floors = [int(q) for q in quotas]
+    leftover = total - sum(floors)
+    by_remainder = sorted(range(len(weights)),
+                          key=lambda i: (-(quotas[i] - floors[i]), i))
+    for i in by_remainder[:leftover]:
+        floors[i] += 1
+    return floors
+
+
+def _slice_population(parent: Population, player_ids: np.ndarray
+                      ) -> Population:
+    """The sub-population over ``player_ids``, relabelled to local ids.
+
+    Coordinates, access delays and link capacities are row slices of the
+    parent arrays; the friend graph keeps only intra-partition edges
+    (cross-region friendships are dropped — the documented semantic
+    difference of sharded runs).  All datacenters stay visible so every
+    latency a partition computes matches what the player saw globally.
+    """
+    topo = parent.topology
+    local = {int(g): i for i, g in enumerate(player_ids)}
+    sub_topo = Topology(
+        region=topo.region,
+        latency_model=topo.latency_model,
+        player_coords=topo.player_coords[player_ids].copy(),
+        player_access_ms=topo.player_access_ms[player_ids].copy(),
+        player_links=LinkBandwidths(
+            download_mbps=topo.player_links.download_mbps[player_ids].copy(),
+            upload_mbps=topo.player_links.upload_mbps[player_ids].copy()),
+        datacenter_coords=topo.datacenter_coords,
+    )
+    friends = FriendGraph(len(player_ids))
+    adjacency = parent.friends.adjacency()
+    for g, i in local.items():
+        for neighbour in adjacency.get(g, ()):
+            j = local.get(int(neighbour))
+            if j is not None and i < j:
+                friends.add_friendship(i, j)
+    return Population(
+        topology=sub_topo,
+        friends=friends,
+        supernode_capable=parent.supernode_capable[player_ids].copy())
+
+
+def build_partitions(config: SystemConfig) -> list[ShardPartition]:
+    """Derive the fixed logical partitions of a configured run.
+
+    One partition per *non-empty* datacenter region, in region order.
+    The parent population is built exactly as an unsharded
+    :class:`SimState` would build it, so the partitioning depends only
+    on the config — never on how many workers later execute it.
+    """
+    rng = RngFactory(config.seed).stream("population")
+    parent = build_population(rng, config.num_players,
+                              config.num_datacenters,
+                              config.supernode_capable_share)
+    nearest = np.argmin(parent.topology.player_datacenter_distances(),
+                        axis=1)
+    regions = [r for r in range(config.num_datacenters)
+               if np.any(nearest == r)]
+    members = [np.flatnonzero(nearest == r) for r in regions]
+    weights = [len(ids) for ids in members]
+    supernode_split = _largest_remainder_split(config.num_supernodes,
+                                               weights)
+    cdn_split = _largest_remainder_split(config.num_cdn_servers, weights)
+    factory = RngFactory(config.seed)
+    partitions = []
+    for index, (region, player_ids) in enumerate(zip(regions, members)):
+        part_config = replace(
+            config,
+            num_players=int(len(player_ids)),
+            num_supernodes=supernode_split[index],
+            num_cdn_servers=max(1, cdn_split[index])
+            if config.mode == "cdn" else config.num_cdn_servers,
+            seed=factory.spawn(f"shard-{index}").seed)
+        partitions.append(ShardPartition(
+            index=index,
+            region=region,
+            player_ids=player_ids,
+            config=part_config,
+            population=_slice_population(parent, player_ids)))
+    return partitions
+
+
+def merge_results(parts: list[RunResult],
+                  partitions: list[ShardPartition]) -> RunResult:
+    """Fold per-partition results into one run, in partition order.
+
+    Counts and bandwidth sum; per-day means combine weighted by each
+    partition's online players; session records are re-labelled back to
+    global player ids (``SessionRecord.target`` stays partition-local —
+    supernode ids only mean anything inside their partition's pool).
+    Every float reduction runs left-to-right over ascending partition
+    index, so the merged result is identical however the partitions
+    were scheduled.
+    """
+    if len(parts) != len(partitions):
+        raise ValueError("one result per partition required")
+    if not parts:
+        return RunResult()
+    merged = RunResult()
+    num_days = len(parts[0].days)
+    if any(len(p.days) != num_days for p in parts):
+        raise ValueError("partitions measured different day counts")
+    for d in range(num_days):
+        rows = [p.days[d] for p in parts]
+        if any(r.day != rows[0].day for r in rows):
+            raise ValueError("partitions disagree on measured day numbers")
+        online = sum(r.online_players for r in rows)
+        day = DayMetrics(
+            day=rows[0].day,
+            online_players=online,
+            supernode_players=sum(r.supernode_players for r in rows),
+            cloud_players=sum(r.cloud_players for r in rows),
+            cloud_bandwidth_mbps=float(
+                sum(r.cloud_bandwidth_mbps for r in rows)))
+        if online > 0:
+            day.mean_response_latency_ms = float(
+                sum(r.mean_response_latency_ms * r.online_players
+                    for r in rows) / online)
+            day.mean_server_latency_ms = float(
+                sum(r.mean_server_latency_ms * r.online_players
+                    for r in rows) / online)
+            day.mean_continuity = float(
+                sum(r.mean_continuity * r.online_players
+                    for r in rows) / online)
+            day.satisfied_ratio = float(
+                sum(r.satisfied_ratio * r.online_players
+                    for r in rows) / online)
+        merged.days.append(day)
+    for part, partition in zip(parts, partitions):
+        ids = partition.player_ids
+        merged.sessions.extend(
+            replace(record, player=int(ids[record.player]))
+            for record in part.sessions)
+        merged.join_latencies_ms.extend(part.join_latencies_ms)
+        merged.supernode_join_latencies_ms.extend(
+            part.supernode_join_latencies_ms)
+        merged.migration_latencies_ms.extend(part.migration_latencies_ms)
+        merged.assignment_wall_times_s.extend(part.assignment_wall_times_s)
+        merged.faults.merge(part.faults)
+    return merged
+
+
+def _shard_dir(checkpoint_dir, index: int) -> Path:
+    return Path(checkpoint_dir) / f"shard-{index:02d}"
+
+
+def _run_partition(partition: ShardPartition, days: int | None,
+                   checkpoint_dir, checkpoint_every: int) -> RunResult:
+    """Run one partition's full schedule in the current process."""
+    state = SimState(partition.config, population=partition.population)
+    hook = None
+    if checkpoint_dir is not None:
+        hook = Checkpointer(_shard_dir(checkpoint_dir, partition.index),
+                            every=checkpoint_every).on_day_end
+    return run_schedule(state, days, on_day_end=hook)
+
+
+def _partition_worker(args) -> RunResult:
+    """Process-pool entry point: rebuild the partition and run it.
+
+    Workers receive the parent config and a partition index instead of
+    a pickled partition — rebuilding is deterministic and cheaper than
+    shipping a population across the process boundary.
+    """
+    config, index, days, checkpoint_dir, checkpoint_every = args
+    partition = build_partitions(config)[index]
+    return _run_partition(partition, days, checkpoint_dir,
+                          checkpoint_every)
+
+
+def run_sharded(config: SystemConfig, days: int | None = None, *,
+                shards: int = 1, checkpoint_dir=None,
+                checkpoint_every: int = 1) -> RunResult:
+    """Run a config as per-region partitions and merge the results.
+
+    ``shards`` is pure worker parallelism: 1 executes the partitions
+    sequentially in-process, more fans them out over a process pool
+    (capped at the machine's core count — extra workers only thrash).
+    The merged result is bit-identical for every ``shards`` value.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    partitions = build_partitions(config)
+    workers = min(shards, len(partitions), os.cpu_count() or 1)
+    if workers <= 1:
+        parts = [_run_partition(p, days, checkpoint_dir, checkpoint_every)
+                 for p in partitions]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(
+                _partition_worker,
+                (config, p.index, days, checkpoint_dir, checkpoint_every))
+                for p in partitions]
+            parts = [future.result() for future in futures]
+    return merge_results(parts, partitions)
+
+
+def resume_sharded(config: SystemConfig, checkpoint_dir, *,
+                   days: int | None = None, shards: int = 1,
+                   checkpoint_every: int = 1) -> RunResult:
+    """Resume a sharded run from its per-partition checkpoints.
+
+    Partitions are rebuilt deterministically from the parent config;
+    each one resumes from the latest checkpoint in its ``shard-NN/``
+    subdirectory (or runs from scratch if it has none), then the
+    results merge exactly as in :func:`run_sharded`.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    partitions = build_partitions(config)
+    parts = []
+    for partition in partitions:
+        directory = _shard_dir(checkpoint_dir, partition.index)
+        found = latest_checkpoint(directory) if directory.is_dir() else None
+        if found is None:
+            parts.append(_run_partition(partition, days, checkpoint_dir,
+                                        checkpoint_every))
+            continue
+        payload = read_checkpoint(found)
+        if payload["state"]["config"]["num_players"] != \
+                partition.config.num_players:
+            raise ValueError(
+                f"checkpoint in {directory} does not match partition "
+                f"{partition.index} of this config")
+        state = overlay_state(
+            SimState(partition.config, population=partition.population),
+            payload["state"])
+        result = restore_result(payload["result"])
+        total = payload["run"]["total_days"] if days is None else days
+        hook = Checkpointer(directory, every=checkpoint_every).on_day_end
+        parts.append(run_schedule(state, total, result=result,
+                                  start_day=payload["day"] + 1,
+                                  on_day_end=hook))
+    return merge_results(parts, partitions)

@@ -37,6 +37,7 @@ from ..workload.churn import DurationMixture, PlayerDayPlan, StartTimeModel
 from ..workload.games import Game
 from ..workload.population import Population, build_population
 from .candidates import CandidateManager
+from .columns import SupernodeColumns
 from .config import SystemConfig
 from .entities import ConnectionKind, Supernode
 from .provisioning import Provisioner
@@ -119,9 +120,26 @@ class SimState:
             for i in range(config.num_datacenters)]
         self.nearest_dc = np.argmin(
             self.topology.player_datacenter_distances(), axis=1)
+        # Columnar per-player cloud latency: the nearest-datacenter
+        # one-way delay, precomputed once.  Row p is bit-identical to
+        # topology.nearest_datacenter_one_way_ms(p) — the same
+        # elementwise latency formula and the same min, evaluated over
+        # the whole (n, d) matrix instead of per call; every join reads
+        # its upstream delay from here.
+        latency_model = self.topology.latency_model
+        self.cloud_ms = np.min(latency_model.one_way_ms(
+            self.topology.player_datacenter_distances(),
+            self.topology.player_access_ms[:, None],
+            latency_model.datacenter_access_ms), axis=1)
 
         # Infrastructure by mode.
         self.supernode_pool: list[Supernode] = []
+        #: Dense columnar mirror of the pool (built alongside it);
+        #: row i == supernode_id i.  Never checkpointed: immutable
+        #: columns rebuild with the pool, and the availability byte is
+        #: refreshed by the entity setters the restore path goes
+        #: through.
+        self.supernode_columns: SupernodeColumns | None = None
         self.live_supernodes: list[Supernode] = []
         self.directory: SupernodeDirectory | None = None
         self.cdn_coords = np.empty((0, 2))
@@ -224,6 +242,10 @@ def build_supernode_pool(state: SimState) -> None:
         state.supernode_pool[int(index)].throttle_class = 0.8
     for index in marked[n80:n80 + n50]:
         state.supernode_pool[int(index)].throttle_class = 0.5
+    # Bind the finished pool to its dense columnar mirror.
+    state.supernode_columns = SupernodeColumns(n)
+    for sn in state.supernode_pool:
+        sn.bind_columns(state.supernode_columns)
 
 
 def deploy(state: SimState, supernodes: list[Supernode]) -> None:
@@ -242,8 +264,7 @@ def deploy(state: SimState, supernodes: list[Supernode]) -> None:
         state.directory.rebuild(state.live_supernodes)
     # Supernode join latency: one RTT to the cloud + registration.
     for sn in supernodes:
-        rtt = 2.0 * state.topology.nearest_datacenter_one_way_ms(
-            sn.host_player)
+        rtt = 2.0 * float(state.cloud_ms[sn.host_player])
         state.supernode_join_latencies_ms.append(rtt + 20.0)
 
 
@@ -288,7 +309,7 @@ def set_arrival_rates(state: SimState, offpeak_per_min: float,
 # ----------------------------------------------------------------------
 def cloud_one_way_ms(state: SimState, player: int) -> float:
     """One-way latency from a player to its nearest datacenter."""
-    return state.topology.nearest_datacenter_one_way_ms(player)
+    return float(state.cloud_ms[player])
 
 
 def player_supernode_ms(state: SimState, player: int,

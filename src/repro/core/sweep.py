@@ -211,16 +211,20 @@ def run_server_assignment(state: SimState, rng: np.random.Generator,
             assignment = assign_players_randomly(datacenter, players, rng)
         total_wall += assignment.wall_time_s
         # Per-player expected server latency: share of its friends on
-        # other servers times the cross-server round trip.
+        # other servers times the cross-server round trip.  The counts
+        # are order-insensitive, so the cached adjacency tuples stand
+        # in for the friend sets.
+        adjacency = state.population.friends.adjacency()
+        nearest = state.nearest_dc
         for player in players:
-            friends = [f for f in state.population.friends.friends(player)
-                       if state.nearest_dc[f] == dc_index]
+            friends = [f for f in adjacency.get(player, ())
+                       if nearest[f] == dc_index]
             if not friends:
                 state.server_latency_cache[player] = 0.0
                 continue
+            server = datacenter.server_of(player)
             crossing = sum(
-                1 for f in friends
-                if datacenter.server_of(f) != datacenter.server_of(player))
+                1 for f in friends if datacenter.server_of(f) != server)
             state.server_latency_cache[player] = (
                 2.0 * datacenter.hop_ms * crossing / len(friends))
     result.assignment_wall_times_s.append(total_wall)
@@ -235,14 +239,21 @@ def run_provisioning(state: SimState, plans: list[PlayerDayPlan],
     assert state.provisioner is not None
     hours = state.config.schedule.hours_per_day
     window = state.provisioner.window_hours
+    # Vectorised per-window occupancy: a plan overlaps [ws, we] iff
+    # start <= we and start + ceil(duration) - 1 >= ws — exactly
+    # ``any(plan.online_at(s) for s in window)`` for a contiguous
+    # window, without the per-plan per-subcycle Python loop.
+    starts = np.fromiter((p.start_subcycle for p in plans),
+                         dtype=np.int64, count=len(plans))
+    durations = np.fromiter((p.duration_hours for p in plans),
+                            dtype=np.float64, count=len(plans))
+    ends = starts + np.ceil(durations).astype(np.int64) - 1
     with obs.get_tracer().span("run_provisioning", windows=max(
             1, -(-hours // window))):
         for window_start in range(1, hours + 1, window):
             window_end = min(hours, window_start + window - 1)
-            online = sum(
-                1 for plan in plans
-                if any(plan.online_at(s)
-                       for s in range(window_start, window_end + 1)))
+            online = int(np.count_nonzero(
+                (starts <= window_end) & (ends >= window_start)))
             state.provisioner.observe(online)
             if state.provisioner.ready:
                 target = min(state.provisioner.target_supernodes(),
@@ -301,9 +312,24 @@ def run_day(state: SimState, day: int, result: RunResult,
     state.current_day = day
     with day_span:
         # (1) Throttle re-roll (its own stream: no workload shift).
+        # Honest nodes draw nothing; the misbehaving classes draw one
+        # uniform each in pool order, batched into a single call (the
+        # RNG-ordering contract: k sequential random() calls produce
+        # the same doubles as random(size=k)).
         throttle_rng = state.rng_factory.stream(f"throttle-{day}")
+        probability = config.throttle_probability
+        if not 0 <= probability <= 1:
+            raise ValueError("probability must lie in [0, 1]")
+        misbehaving = [sn for sn in state.supernode_pool
+                       if sn.throttle_class < 1.0]
         for sn in state.supernode_pool:
-            sn.roll_throttle(throttle_rng, config.throttle_probability)
+            if sn.throttle_class >= 1.0:
+                sn.throttle = 1.0
+        if misbehaving:
+            draws = throttle_rng.random(len(misbehaving))
+            for sn, draw in zip(misbehaving, draws):
+                sn.throttle = sn.throttle_class if draw < probability \
+                    else 1.0
 
         # (Weekly) server assignment.
         if day % 7 == 0:

@@ -21,9 +21,10 @@ modules above it, one orchestrator on top:
 :class:`CloudFogSystem` survives as a thin façade over that pipeline:
 it owns one ``SimState`` and delegates every call, keeping the public
 construction-and-run API (and the private attribute names experiment
-and test code grew around) stable.  Every moved name still imports
-from here through a :func:`__getattr__` shim that raises a
-:class:`DeprecationWarning` pointing at the new home.
+and test code grew around) stable.  The deprecation shim that used to
+re-export every moved name from here is gone — import result
+containers from :mod:`repro.core.accounting` and the rest from the
+stage modules listed above.
 
 Latency/randomness semantics are unchanged and documented in
 DESIGN.md §10 and the stage modules' docstrings; outputs are pinned
@@ -32,8 +33,6 @@ bit-identical to the pre-split engine by the golden digests in
 """
 
 from __future__ import annotations
-
-import warnings
 
 import numpy as np
 
@@ -44,8 +43,7 @@ from . import state as simstate
 from .config import SystemConfig
 from .state import SimState
 
-__all__ = ["FAILURE_DETECTION_MS", "CloudFogSystem", "SessionRecord",
-           "DayMetrics", "RunResult", "SweepLoads", "MigrationOutcome"]
+__all__ = ["FAILURE_DETECTION_MS", "CloudFogSystem"]
 
 #: Legacy fixed failure-detection timeout (§3.2.2); dominates the
 #: ~0.8 s migration latency.  Kept as the documented expectation of the
@@ -53,38 +51,6 @@ __all__ = ["FAILURE_DETECTION_MS", "CloudFogSystem", "SessionRecord",
 #: ``expected_detection_ms`` equals this value, and
 #: ``detection_latency_ms`` draws the actual phase-dependent latency.
 FAILURE_DETECTION_MS = 500.0
-
-#: Names that used to be defined here, with their new home module.
-#: Imported through :func:`__getattr__` below with a deprecation
-#: warning so downstream code keeps working while it migrates.
-_MOVED = {
-    "SessionRecord": (accounting, "SessionRecord"),
-    "DayMetrics": (accounting, "DayMetrics"),
-    "RunResult": (accounting, "RunResult"),
-    "SweepLoads": (accounting, "SweepLoads"),
-    "DEFAULT_DC_EGRESS_MBPS": (accounting, "DEFAULT_DC_EGRESS_MBPS"),
-    "CLOUD_FLOW_HEADROOM": (accounting, "CLOUD_FLOW_HEADROOM"),
-    "CLOUD_FLOW_SHARE_FLOOR_MBPS": (accounting,
-                                    "CLOUD_FLOW_SHARE_FLOOR_MBPS"),
-    "MigrationOutcome": (lifecycle, "MigrationOutcome"),
-    "CDN_COORDINATION_MS": (scoring, "CDN_COORDINATION_MS"),
-    "SUPERNODE_MBPS_PER_SLOT": (simstate, "SUPERNODE_MBPS_PER_SLOT"),
-    "_Session": (simstate, "Session"),
-}
-
-
-def __getattr__(name: str):
-    moved = _MOVED.get(name)
-    if moved is None:
-        raise AttributeError(
-            f"module {__name__!r} has no attribute {name!r}")
-    module, attr = moved
-    warnings.warn(
-        f"repro.core.system.{name} moved to {module.__name__}.{attr}; "
-        f"import it from there",
-        DeprecationWarning, stacklevel=2)
-    return getattr(module, attr)
-
 
 #: SimState attributes mirrored 1:1 on the façade (read and write).
 _STATE_ATTRS = (

@@ -8,7 +8,23 @@ derive from the config seed), so the runs can execute in any order and
 on any process without changing a single bit of the results — the
 parallel path is pinned against the sequential one by tests.
 
-Two deliberate choices:
+Three deliberate choices:
+
+* **Honest work planning.**  ``jobs > 1`` is a request to *finish the
+  sweep fast with up to that many workers*, not a mandate to start
+  processes.  Workers are clamped to the machine's core count (extra
+  workers only thrash one core), and when the tasks are too small to
+  amortize pool start-up (below :data:`MIN_TASK_PLAYER_DAYS` of
+  simulated work per task) the sweep runs in-process instead — with a
+  shared population cache, since every task keyed by the same
+  ``(seed, players, datacenters, capable share)`` deterministically
+  builds the *same* population (``SimState`` derives it from the
+  ``population`` stream of the config seed), so a 4-variant comparison
+  builds it once instead of four times.  Pool submission is chunked —
+  contiguous task slices, one submit per worker — so IPC and worker
+  warm-up amortize across a chunk, and chunk workers share the same
+  population cache.  Results stay bit-identical to the naive
+  sequential loop in every case.
 
 * **Obs propagation + registry merge.**  Process workers do not share
   the parent's observability runtime (spawn-started children begin
@@ -34,10 +50,19 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..core.accounting import RunResult
-from .runner import run_variant
+from ..core.system import CloudFogSystem
+from ..sim.rng import RngFactory
+from ..workload.population import Population, build_population
+from .runner import run_variant, variant_config
 from .testbeds import Testbed
 
-__all__ = ["VariantTask", "resolve_jobs", "run_variants", "run_seeds"]
+__all__ = ["MIN_TASK_PLAYER_DAYS", "VariantTask", "resolve_jobs",
+           "run_variants", "run_seeds"]
+
+#: Below this much simulated work per task (player-days, averaged over
+#: the sweep) a process pool cannot amortize worker start-up and IPC;
+#: the sweep runs in-process with the shared population cache instead.
+MIN_TASK_PLAYER_DAYS = 5_000
 
 
 @dataclass(frozen=True)
@@ -72,13 +97,54 @@ def _obs_worker_init(flags: dict) -> None:
     _WORKER_OBS_FLAGS = dict(flags)
 
 
-def _run_variant_task(task: VariantTask) -> tuple[RunResult, dict | None]:
-    """Worker entry point: run one task under the parent's obs flags.
+def _population_for(config, cache: dict) -> Population:
+    """The deterministic population of a config, via a shared cache.
+
+    ``SimState`` builds its population from the ``population`` stream
+    of the config seed; rebuilding through the exact same stream here
+    keeps the result bit-identical to an uncached construction, and
+    tasks that share the key (e.g. every variant of one comparison
+    sweep) share one build.
+    """
+    key = (config.seed, config.num_players, config.num_datacenters,
+           config.supernode_capable_share)
+    population = cache.get(key)
+    if population is None:
+        rng = RngFactory(config.seed).stream("population")
+        population = build_population(rng, config.num_players,
+                                      config.num_datacenters,
+                                      config.supernode_capable_share)
+        cache[key] = population
+    return population
+
+
+def _run_chunk_inprocess(tasks: list[VariantTask]) -> list[RunResult]:
+    """Run a task slice in this process, sharing population builds."""
+    cache: dict = {}
+    results = []
+    for task in tasks:
+        config = variant_config(task.variant, task.testbed, task.seed,
+                                **task.overrides)
+        system = CloudFogSystem(config,
+                                population=_population_for(config, cache))
+        with obs.get_tracer().span("run_variant", variant=task.variant,
+                                   testbed=task.testbed.name,
+                                   seed=task.seed, days=task.days,
+                                   players=config.num_players):
+            results.append(system.run(days=task.days))
+    return results
+
+
+def _run_chunk_task(tasks: list[VariantTask]
+                    ) -> tuple[list[RunResult], dict | None]:
+    """Worker entry point: run a contiguous task chunk under the
+    parent's obs flags.
 
     Always starts from a fresh runtime (fork-started workers inherit
     the parent's live objects — reusing them would double-count across
-    tasks), runs, then returns the result plus the worker registry's
-    dump for the parent-side merge.
+    tasks), runs the whole chunk (amortizing dispatch and sharing the
+    population cache), then returns the results plus the worker
+    registry's dump for the parent-side merge.
     """
     flags = _WORKER_OBS_FLAGS or {}
     obs.disable()
@@ -87,12 +153,24 @@ def _run_variant_task(task: VariantTask) -> tuple[RunResult, dict | None]:
                    metrics=flags.get("metrics", False),
                    timeseries=flags.get("timeseries", False),
                    events=flags.get("events", False))
-    result = run_variant(task.variant, task.testbed, seed=task.seed,
-                         days=task.days, **task.overrides)
+    results = _run_chunk_inprocess(tasks)
     registry = obs.get_registry()
     dump = registry.as_dict() if registry.enabled else None
     obs.disable()
-    return result, dump
+    return results, dump
+
+
+def _chunk_evenly(tasks: list[VariantTask],
+                  chunks: int) -> list[list[VariantTask]]:
+    """Split into at most ``chunks`` contiguous, near-equal slices."""
+    chunks = min(chunks, len(tasks))
+    base, extra = divmod(len(tasks), chunks)
+    out, start = [], 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        out.append(tasks[start:start + size])
+        start += size
+    return out
 
 
 def run_variants(tasks, jobs: int | None = None) -> list[RunResult]:
@@ -106,25 +184,40 @@ def run_variants(tasks, jobs: int | None = None) -> list[RunResult]:
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     workers = min(jobs, len(tasks)) if tasks else 0
+    if workers > 1:
+        # More workers than cores only thrash the scheduler; and tiny
+        # tasks never pay back pool start-up — run those in-process
+        # with the shared population cache instead.
+        workers = min(workers, os.cpu_count() or 1)
+        mean_work = (sum(t.testbed.num_players * t.days for t in tasks)
+                     / len(tasks))
+        if mean_work < MIN_TASK_PLAYER_DAYS:
+            workers = 1
     registry = obs.get_registry()
     with obs.get_tracer().span("run_variants", tasks=len(tasks),
                                jobs=jobs, workers=max(1, workers)):
         registry.counter("repro_sweep_tasks_total").inc(len(tasks))
         if workers <= 1:
+            if jobs > 1 and tasks:
+                # The caller asked for a fast sweep; the plan decided
+                # one worker.  Amortize in-process instead of paying
+                # per-task construction.
+                return _run_chunk_inprocess(tasks)
             return [run_variant(task.variant, task.testbed, seed=task.seed,
                                 days=task.days, **task.overrides)
                     for task in tasks]
+        chunks = _chunk_evenly(tasks, workers)
         with ProcessPoolExecutor(max_workers=workers,
                                  initializer=_obs_worker_init,
                                  initargs=(obs.enablement(),)) as pool:
-            futures = [pool.submit(_run_variant_task, task)
-                       for task in tasks]
+            futures = [pool.submit(_run_chunk_task, chunk)
+                       for chunk in chunks]
             results = []
             for future in futures:
-                result, dump = future.result()
+                chunk_results, dump = future.result()
                 if dump:
                     registry.merge_dump(dump)
-                results.append(result)
+                results.extend(chunk_results)
             return results
 
 

@@ -13,12 +13,14 @@ from ..core.config import (
     cloudfog_basic,
 )
 from ..core.accounting import RunResult
+from ..core.shard import resume_sharded, run_sharded
 from ..core.system import CloudFogSystem
 from ..persist import Checkpointer, resume_run
 from .testbeds import Testbed
 
 __all__ = ["VARIANTS", "variant_config", "build_system", "run_variant",
-           "run_config", "resume_config"]
+           "run_config", "resume_config", "run_sharded_config",
+           "resume_sharded_config"]
 
 
 def _checkpointer(checkpoint_dir, checkpoint_every: int
@@ -111,6 +113,38 @@ def run_config(config: SystemConfig, days: int, label: str = "custom",
         return system.run(days=days,
                           on_day_end=None if hook is None
                           else hook.on_day_end)
+
+
+def run_sharded_config(config: SystemConfig, days: int, *,
+                       shards: int = 1, label: str = "sharded",
+                       checkpoint_dir=None, checkpoint_every: int = 1
+                       ) -> RunResult:
+    """Run a config as geographically sharded partitions and merge.
+
+    Thin tracing wrapper over :func:`repro.core.shard.run_sharded`:
+    fixed per-region partitions, ``shards`` worker processes, ordered
+    deterministic merge — the merged result is identical for every
+    ``shards`` value (pinned by ``tests/persist``).
+    """
+    if days <= 0:
+        raise ValueError("days must be positive")
+    with obs.get_tracer().span("run_variant", variant=label,
+                               seed=config.seed, days=days,
+                               players=config.num_players, shards=shards):
+        return run_sharded(config, days, shards=shards,
+                           checkpoint_dir=checkpoint_dir,
+                           checkpoint_every=checkpoint_every)
+
+
+def resume_sharded_config(config: SystemConfig, checkpoint_dir, *,
+                          days: int | None = None, shards: int = 1,
+                          checkpoint_every: int = 1) -> RunResult:
+    """Resume a sharded run from its per-partition checkpoint dirs."""
+    with obs.get_tracer().span("run_variant", variant="resume-sharded",
+                               seed=config.seed, shards=shards):
+        return resume_sharded(config, checkpoint_dir, days=days,
+                              shards=shards,
+                              checkpoint_every=checkpoint_every)
 
 
 def resume_config(source, days: int | None = None, checkpoint_dir=None,

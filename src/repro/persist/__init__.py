@@ -47,6 +47,7 @@ from .snapshot import (
     capture_state,
     config_from_dict,
     config_to_dict,
+    overlay_state,
     restore_result,
     restore_state,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "config_from_dict",
     "capture_state",
     "restore_state",
+    "overlay_state",
     "capture_result",
     "restore_result",
     "CHECKPOINT_GLOB",

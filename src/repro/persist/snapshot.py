@@ -75,7 +75,8 @@ from ..workload.games import GAME_CATALOGUE
 from .codec import CheckpointCorruptError
 
 __all__ = ["config_to_dict", "config_from_dict", "capture_state",
-           "restore_state", "capture_result", "restore_result"]
+           "restore_state", "overlay_state", "capture_result",
+           "restore_result"]
 
 _GAME_BY_NAME = {game.name: game for game in GAME_CATALOGUE}
 
@@ -210,7 +211,18 @@ def restore_state(payload: dict) -> SimState:
     captured mutable state is then overlaid on top.
     """
     config = config_from_dict(payload["config"])
-    state = SimState(config)
+    return overlay_state(SimState(config), payload)
+
+
+def overlay_state(state: SimState, payload: dict) -> SimState:
+    """Overlay a captured mutable-state payload onto a fresh state.
+
+    The seam sharded resume needs: partition states are built from a
+    *sliced* population the config alone cannot reproduce, so the
+    caller constructs the state and this function applies the captured
+    inventory on top.  :func:`restore_state` is the plain-config
+    composition of construction + overlay.
+    """
     if len(state.supernode_pool) != payload["pool_size"]:
         raise CheckpointCorruptError(
             f"deterministic reconstruction produced "
@@ -244,6 +256,7 @@ def restore_state(payload: dict) -> SimState:
     for player, sn, ratings in payload["ratings"]:
         state.ledger._ratings[(player, sn)] = [
             Rating(value=value, day=day) for value, day in ratings]
+    state.ledger._reindex()
     state.reputation._scores = {
         (player, sn): score
         for player, sn, score in payload["reputation"]["scores"]}

@@ -54,6 +54,10 @@ class RatingLedger:
             raise ValueError("max_ratings_per_pair must be positive")
         self.max_ratings_per_pair = max_ratings_per_pair
         self._ratings: dict[tuple[int, int], list[Rating]] = defaultdict(list)
+        # Per-player index of rated supernodes: rated_supernodes() is on
+        # the per-join reputation-refresh path, and scanning the whole
+        # (player, supernode) key set there is quadratic in run length.
+        self._by_player: dict[int, set[int]] = defaultdict(set)
 
     def add(self, player: int, supernode: int, value: float, day: int) -> None:
         """Record one rating; oldest ratings roll off past the cap."""
@@ -61,6 +65,13 @@ class RatingLedger:
         ratings.append(Rating(value=value, day=day))
         if len(ratings) > self.max_ratings_per_pair:
             del ratings[0]
+        self._by_player[player].add(supernode)
+
+    def _reindex(self) -> None:
+        """Rebuild the per-player index after a bulk ``_ratings`` load."""
+        self._by_player = defaultdict(set)
+        for player, supernode in self._ratings:
+            self._by_player[player].add(supernode)
 
     def ratings(self, player: int, supernode: int) -> list[Rating]:
         """This player's ratings of this supernode (oldest first)."""
@@ -71,7 +82,8 @@ class RatingLedger:
 
     def rated_supernodes(self, player: int) -> list[int]:
         """Supernodes this player has ever rated."""
-        return sorted({sn for (p, sn) in self._ratings if p == player})
+        rated = self._by_player.get(player)
+        return sorted(rated) if rated else []
 
     def pairs(self) -> Iterator[tuple[int, int]]:
         return iter(self._ratings.keys())

@@ -137,25 +137,76 @@ def random_partition(graph: FriendGraph, z: int,
     return {p: int(rng.integers(0, z)) for p in range(graph.num_players)}
 
 
+class _OrderStatSet:
+    """The set {0..n-1} with O(log n) removal and k-th-smallest queries.
+
+    A Fenwick tree over membership counts.  ``_seed_communities`` draws
+    uniformly from the *sorted* unassigned players; materialising that
+    sort per draw is quadratic in the population, while this tree
+    answers the same query by binary lifting over prefix counts.
+    """
+
+    def __init__(self, n: int):
+        self._n = n
+        self._tree = [0] * (n + 1)
+        for i in range(1, n + 1):
+            self._tree[i] += 1
+            parent = i + (i & -i)
+            if parent <= n:
+                self._tree[parent] += self._tree[i]
+
+    def remove(self, player: int) -> None:
+        i = player + 1
+        while i <= self._n:
+            self._tree[i] -= 1
+            i += i & -i
+
+    def kth(self, k: int) -> int:
+        """The k-th smallest member (0-based ``k``)."""
+        pos = 0
+        bit = 1 << self._n.bit_length()
+        k += 1
+        while bit:
+            nxt = pos + bit
+            if nxt <= self._n and self._tree[nxt] < k:
+                pos = nxt
+                k -= self._tree[nxt]
+            bit >>= 1
+        return pos  # tree slot pos+1 == player id pos
+
+
 def _seed_communities(graph: FriendGraph, z: int,
                       rng: np.random.Generator) -> dict[int, int]:
     """Steps 1–4 of §3.4: grow z friend-pulled communities of ~|V|/z."""
     n = graph.num_players
     target = max(1, n // z)
     unassigned = set(range(n))
+    stats = _OrderStatSet(n)
     assignment: dict[int, int] = {}
+
+    def draw_unassigned() -> int:
+        # Bit-equal to the original ``rng.choice(sorted(unassigned))``:
+        # Generator.choice of a 1-D sequence draws one
+        # ``integers(0, len)`` and indexes the sorted order, which the
+        # order-statistic tree answers without building the sort.
+        k = int(rng.integers(0, len(unassigned)))
+        return stats.kth(k)
+
+    def assign(player: int, community: int, members: list[int]) -> None:
+        assignment[player] = community
+        unassigned.discard(player)
+        stats.remove(player)
+        members.append(player)
 
     for community in range(z):
         if not unassigned:
             break
         members: list[int] = []
         # Step 1: a random seed player plus all its unassigned friends.
-        seed = int(rng.choice(sorted(unassigned)))
+        seed = draw_unassigned()
         for player in [seed, *sorted(graph.friends(seed) & unassigned)]:
             if player in unassigned:
-                assignment[player] = community
-                unassigned.discard(player)
-                members.append(player)
+                assign(player, community, members)
         # Steps 2–3: pull in friends-of-members until the size target.
         attempts = 0
         while len(members) < target and unassigned and attempts < 4 * target:
@@ -164,11 +215,9 @@ def _seed_communities(graph: FriendGraph, z: int,
             pulled = sorted(graph.friends(anchor) & unassigned)
             if not pulled:
                 # Dead end: jump-start from a fresh unassigned player.
-                pulled = [int(rng.choice(sorted(unassigned)))]
+                pulled = [draw_unassigned()]
             for player in pulled:
-                assignment[player] = community
-                unassigned.discard(player)
-                members.append(player)
+                assign(player, community, members)
 
     # Step 4 cleanup: any leftovers go to the smallest communities.
     if unassigned:

@@ -32,6 +32,8 @@ class FriendGraph:
         self.num_players = num_players
         self._graph = nx.Graph()
         self._graph.add_nodes_from(range(num_players))
+        self._num_edges: int | None = 0
+        self._adjacency: dict[int, tuple[int, ...]] | None = None
         for a, b in edges:
             self.add_friendship(a, b)
 
@@ -42,10 +44,14 @@ class FriendGraph:
         if a == b:
             raise ValueError(f"player {a} cannot befriend itself")
         self._graph.add_edge(a, b)
+        self._num_edges = None
+        self._adjacency = None
 
     def remove_friendship(self, a: int, b: int) -> None:
         if self._graph.has_edge(a, b):
             self._graph.remove_edge(a, b)
+            self._num_edges = None
+            self._adjacency = None
 
     def _check(self, player: int) -> None:
         if not 0 <= player < self.num_players:
@@ -70,7 +76,27 @@ class FriendGraph:
 
     @property
     def num_edges(self) -> int:
-        return self._graph.number_of_edges()
+        # Cached: modularity-style algorithms read |E| once per
+        # candidate move, and networkx recounts degrees every call.
+        if self._num_edges is None:
+            self._num_edges = self._graph.number_of_edges()
+        return self._num_edges
+
+    def adjacency(self) -> dict[int, tuple[int, ...]]:
+        """Every player's friends as immutable tuples, cached.
+
+        The per-day game-choice and server-assignment loops read friend
+        sets for (almost) every player; building a fresh ``set`` per
+        call from the networkx structure dominates those loops.  The
+        cache is invalidated by any mutation.  Tuple order follows the
+        networkx adjacency (insertion order), which is deterministic
+        for a deterministically built graph.
+        """
+        if self._adjacency is None:
+            self._adjacency = {
+                player: tuple(neighbors)
+                for player, neighbors in self._graph.adjacency()}
+        return self._adjacency
 
     def subgraph_players(self, players: Iterable[int]) -> "FriendGraph":
         """Friendships restricted to a player subset (ids preserved)."""

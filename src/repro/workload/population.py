@@ -73,7 +73,10 @@ def choose_game(player: int, friends: FriendGraph,
     ``playing`` maps currently-online players to the game they play.
     Ties between games go to the earlier catalogue entry (deterministic).
     """
-    friend_games = [playing[f] for f in friends.friends(player) if f in playing]
+    # adjacency() is the cached tuple form of friends(); the majority
+    # count below is order-insensitive, so the tuple order is safe.
+    friend_games = [playing[f] for f in friends.adjacency().get(player, ())
+                    if f in playing]
     if not friend_games:
         return random_game(rng)
     counts = Counter(game.name for game in friend_games)

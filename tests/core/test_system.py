@@ -1,5 +1,4 @@
-"""Tests for the CloudFogSystem façade: end-to-end runs, delegation,
-and the back-compat import shim.
+"""Tests for the CloudFogSystem façade: end-to-end runs and delegation.
 
 Stage-level behaviour is covered next door: ``test_state.py``,
 ``test_lifecycle.py``, ``test_accounting.py``, ``test_sweep_pipeline.py``.
@@ -151,35 +150,8 @@ def test_facade_attribute_writes_reach_state():
 
 
 # ----------------------------------------------------------------------
-# back-compat import shim
+# module surface (the moved-name deprecation shim is gone)
 # ----------------------------------------------------------------------
-@pytest.mark.parametrize("name, home", [
-    ("SessionRecord", "repro.core.accounting"),
-    ("DayMetrics", "repro.core.accounting"),
-    ("RunResult", "repro.core.accounting"),
-    ("SweepLoads", "repro.core.accounting"),
-    ("MigrationOutcome", "repro.core.lifecycle"),
-    ("CDN_COORDINATION_MS", "repro.core.scoring"),
-    ("SUPERNODE_MBPS_PER_SLOT", "repro.core.state"),
-])
-def test_moved_names_import_with_deprecation_warning(name, home):
-    import importlib
-
-    from repro.core import system as system_module
-
-    with pytest.warns(DeprecationWarning, match=home):
-        shimmed = getattr(system_module, name)
-    assert shimmed is getattr(importlib.import_module(home),
-                              name if name != "_Session" else "Session")
-
-
-def test_unmoved_names_do_not_warn(recwarn):
-    from repro.core.system import FAILURE_DETECTION_MS, CloudFogSystem  # noqa: F401
-
-    assert not [w for w in recwarn.list
-                if issubclass(w.category, DeprecationWarning)]
-
-
 def test_unknown_attribute_raises():
     from repro.core import system as system_module
 

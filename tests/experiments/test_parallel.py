@@ -2,8 +2,11 @@
 
 import pytest
 
+from repro.experiments import parallel
 from repro.experiments.parallel import (
+    MIN_TASK_PLAYER_DAYS,
     VariantTask,
+    _chunk_evenly,
     resolve_jobs,
     run_seeds,
     run_variants,
@@ -70,3 +73,61 @@ def test_variant_task_overrides_forwarded():
     targets = {record.target for record in result.sessions
                if record.kind.name == "SUPERNODE"}
     assert targets <= {0, 1}
+
+
+# ----------------------------------------------------------------------
+# honest work planning (the sweep-speedup regression)
+# ----------------------------------------------------------------------
+# BENCH_perf.json once recorded sweep.speedup 0.70: a pool of workers,
+# each paying interpreter + population start-up for a task too small to
+# amortize it.  The fix plans the work — tiny sweeps never start a pool.
+class _PoolMustNotStart:
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("ProcessPoolExecutor started for a sweep "
+                             "too small to amortize workers")
+
+
+def test_chunk_evenly_contiguous_and_exact():
+    tasks = tiny_tasks() * 3  # 9 tasks
+    for chunks in (1, 2, 4, 9, 12):
+        sliced = _chunk_evenly(tasks, chunks)
+        assert len(sliced) == min(chunks, len(tasks))
+        assert [t for chunk in sliced for t in chunk] == tasks
+        sizes = [len(chunk) for chunk in sliced]
+        assert max(sizes) - min(sizes) <= 1
+        assert all(size > 0 for size in sizes)
+
+
+def test_small_sweep_never_starts_a_pool(monkeypatch):
+    tasks = tiny_tasks()  # 60 players x 1 day << MIN_TASK_PLAYER_DAYS
+    assert TINY.num_players * 1 < MIN_TASK_PLAYER_DAYS
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 4)  # cores exist
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoolMustNotStart)
+    sequential = run_variants(tasks, jobs=1)
+    inprocess = run_variants(tasks, jobs=4)
+    for seq, par in zip(sequential, inprocess):
+        assert seq.sessions == par.sessions
+        assert seq.days == par.days
+
+
+def test_workers_clamped_to_core_count(monkeypatch):
+    """One core -> one worker, even for big sweeps asking for many."""
+    monkeypatch.setattr(parallel, "MIN_TASK_PLAYER_DAYS", 0)
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+    monkeypatch.setattr(parallel, "ProcessPoolExecutor", _PoolMustNotStart)
+    results = run_variants(tiny_tasks(), jobs=8)
+    assert len(results) == 3
+
+
+def test_pool_path_matches_sequential_bitwise(monkeypatch):
+    """Force the chunked pool path and pin it against jobs=1."""
+    tasks = tiny_tasks()
+    sequential = run_variants(tasks, jobs=1)
+    monkeypatch.setattr(parallel, "MIN_TASK_PLAYER_DAYS", 0)
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    pooled = run_variants(tasks, jobs=2)
+    assert len(pooled) == len(tasks)
+    for seq, par in zip(sequential, pooled):
+        assert seq.sessions == par.sessions
+        assert seq.days == par.days
+        assert seq.join_latencies_ms == par.join_latencies_ms

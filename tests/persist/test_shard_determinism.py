@@ -1,0 +1,150 @@
+"""Shard-count invariance: 1, 2 or 4 shards, the same bits out.
+
+``repro.core.shard`` splits a run into fixed per-region partitions and
+treats ``shards`` as worker parallelism only, so the merged result must
+be bit-identical for every shard count — under a chaos
+:class:`~repro.faults.plan.FaultPlan` too, and across a mid-run
+checkpoint/resume.  Sharded semantics deliberately differ from an
+unsharded run (cross-region friendships drop, per-region pools and
+egress budgets), so the sharded outputs carry their *own* golden pins
+here instead of claiming equality with ``tests/faults`` digests.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.config import cloudfog_advanced
+from repro.core.shard import build_partitions, merge_results, run_sharded
+from repro.experiments import resume_sharded_config, run_sharded_config
+from repro.faults.plan import FaultPlan
+from repro.sim.cycles import Schedule
+
+from ..helpers.golden import fault_summary_digest, run_result_digest
+
+BASELINE = cloudfog_advanced(
+    num_players=600, num_datacenters=3, num_supernodes=36, seed=7,
+    schedule=Schedule(days=2, warmup_days=1))
+CHAOS = replace(
+    BASELINE,
+    schedule=Schedule(days=3, warmup_days=1),
+    fault_plan=replace(FaultPlan.poisson(rate_per_day=3.0, days=3, seed=5),
+                       transient_refusal_prob=0.2))
+
+#: Golden pins of the sharded runs above — sharded mode's own digests,
+#: deliberately distinct from the unsharded pins in ``tests/faults``.
+#: Regenerate (only for a deliberate semantic change) by running the
+#: configs through :func:`run_sharded` and printing ``digests``.
+GOLDEN_BASELINE = (
+    "6486b94b67372df749178a27305cb10ceb2512aaf2cbfed00bd2595f5c03265d",
+    "acb88cc45a983fc5559854d1193217b31aa4efbbd52b0bf154ab0873194cf7a9")
+GOLDEN_CHAOS = (
+    "209f8ebe3f6937d031f6cb3392a7f8ed9db2cdafa22f40eef79084a42151f266",
+    "f56b49ed3211229332d150a21b54bd9e43f0727264375e8a02e93072692b8a2d")
+
+
+def digests(result):
+    return (run_result_digest(result), fault_summary_digest(result.faults))
+
+
+# ----------------------------------------------------------------------
+# partitioning is derived, not drawn
+# ----------------------------------------------------------------------
+def test_partitions_are_deterministic_and_exact():
+    first = build_partitions(BASELINE)
+    second = build_partitions(BASELINE)
+    assert [p.region for p in first] == [p.region for p in second]
+    assert [p.config for p in first] == [p.config for p in second]
+    for a, b in zip(first, second):
+        assert np.array_equal(a.player_ids, b.player_ids)
+    # The partitions cover every player exactly once...
+    covered = np.concatenate([p.player_ids for p in first])
+    assert sorted(covered.tolist()) == list(range(BASELINE.num_players))
+    # ...and the infrastructure split is exact.
+    assert sum(p.config.num_supernodes for p in first) == \
+        BASELINE.num_supernodes
+    # Per-partition seeds derive from the run seed, not from each other.
+    seeds = [p.config.seed for p in first]
+    assert len(set(seeds)) == len(seeds)
+
+
+def test_partition_populations_keep_global_latencies():
+    for partition in build_partitions(BASELINE):
+        topo = partition.population.topology
+        # All datacenters stay visible so nearest-DC latency matches
+        # what each player saw in the global topology.
+        assert topo.datacenter_coords.shape[0] == BASELINE.num_datacenters
+        assert topo.player_coords.shape[0] == len(partition.player_ids)
+
+
+# ----------------------------------------------------------------------
+# shard count is worker parallelism only
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("config, golden",
+                         [(BASELINE, GOLDEN_BASELINE),
+                          (CHAOS, GOLDEN_CHAOS)],
+                         ids=["baseline", "chaos"])
+def test_shard_counts_are_bit_identical(config, golden):
+    one = run_sharded(config, shards=1)
+    two = run_sharded(config, shards=2)
+    four = run_sharded(config, shards=4)
+    assert digests(one) == digests(two) == digests(four) == golden
+    assert one.faults.conserved()
+
+
+def test_runner_wrapper_matches_core():
+    days = BASELINE.schedule.days
+    assert digests(run_sharded_config(BASELINE, days, shards=2)) == \
+        digests(run_sharded(BASELINE, days, shards=1))
+
+
+# ----------------------------------------------------------------------
+# merged accounting is consistent
+# ----------------------------------------------------------------------
+def test_merge_relabels_players_and_sums_days():
+    partitions = build_partitions(BASELINE)
+    merged = run_sharded(BASELINE, shards=1)
+    players = {record.player for record in merged.sessions}
+    assert players <= set(range(BASELINE.num_players))
+    # Sessions from more than one partition survive the merge.
+    owners = {next(i for i, p in enumerate(partitions)
+                   if player in set(p.player_ids.tolist()))
+              for player in players}
+    assert len(owners) == len(partitions)
+    for day in merged.days:
+        assert day.online_players == \
+            day.supernode_players + day.cloud_players
+
+
+def test_merge_validates_shapes():
+    partitions = build_partitions(BASELINE)
+    with pytest.raises(ValueError, match="one result per partition"):
+        merge_results([], partitions)
+
+
+# ----------------------------------------------------------------------
+# checkpoint/resume composes with sharding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("config", [BASELINE, CHAOS],
+                         ids=["baseline", "chaos"])
+def test_sharded_resume_is_bit_identical(tmp_path, config):
+    days = config.schedule.days
+    expected = digests(run_sharded(config, days, shards=1))
+    checkpointed = run_sharded(config, days, shards=1,
+                               checkpoint_dir=tmp_path)
+    assert digests(checkpointed) == expected  # the hook never perturbs
+    # Simulate an interruption after day 0: drop every later snapshot.
+    for shard_dir in sorted(tmp_path.iterdir()):
+        for snapshot in sorted(shard_dir.glob("checkpoint-day*.json"))[1:]:
+            snapshot.unlink()
+    resumed = resume_sharded_config(config, tmp_path, days=days, shards=1)
+    assert digests(resumed) == expected
+
+
+def test_sharded_resume_from_missing_dirs_runs_fresh(tmp_path):
+    days = BASELINE.schedule.days
+    expected = digests(run_sharded(BASELINE, days, shards=1))
+    # No checkpoints at all: every partition runs from scratch.
+    assert digests(resume_sharded_config(BASELINE, tmp_path / "nothing",
+                                         days=days)) == expected

@@ -45,6 +45,7 @@ RANKS = {
     "repro.__main__": 100,  # CLI entry point drives experiments
     "repro.experiments": 100,
     "repro.core.system": 90,
+    "repro.core.shard": 90,  # drives core.sweep + persist per partition
     "repro.persist": 90,   # drives core.sweep for resumed schedules
     "repro.core.sweep": 80,
     "repro.faults.handlers": 70,
