@@ -216,16 +216,25 @@ def main(argv: list[str] | None = None) -> int:
         code = _setup_observability(args)
         if code:
             return code
+    # chaos-run is an SLO gate: the per-day time series must exist even
+    # without observability flags, so the verdict can be computed.
+    slo_gate = args.figure == "chaos-run"
+    forced_obs = slo_gate and not observing
+    if forced_obs:
+        obs.enable()
     table = func(**kwargs)
     if args.chart:
         from .metrics.plots import render_bars
         print(render_bars(table))
     else:
         print(table)
+    code = _chaos_slo_verdict(args) if slo_gate else 0
     if observing:
         _export_observability(args)
         _teardown_observability(args)
-    return 0
+    elif forced_obs:
+        obs.disable()
+    return code
 
 
 def _observing(args) -> bool:
@@ -273,6 +282,33 @@ def _setup_observability(args) -> int:
         print(f"[obs] serving metrics on {args._obs_server.url}",
               file=sys.stderr)
     return 0
+
+
+def _chaos_slo_verdict(args) -> int:
+    """Evaluate the SLO policy after a chaos-run; non-zero on violation.
+
+    The resilience gate CI leans on: a chaos scenario whose injected
+    faults break the ``cloudfog-default`` objectives (or a ``--slo``
+    policy) turns the run's exit code red instead of needing a human
+    to read the table.
+    """
+    from .obs.slo import default_policy, evaluate
+
+    try:
+        policy = _load_policy(args) or default_policy()
+    except (OSError, ValueError, TypeError) as exc:
+        print(f"cannot load SLO policy {args.slo}: {exc}",
+              file=sys.stderr)
+        return 2
+    report = evaluate(policy, obs.get_timeseries())
+    print()
+    print(report.to_table())
+    if report.ok:
+        return 0
+    days = ",".join(str(d) for d in report.violating_days())
+    print(f"[slo] policy '{policy.name}' violated on days {days}",
+          file=sys.stderr)
+    return 1
 
 
 def _load_policy(args):

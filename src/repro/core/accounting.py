@@ -200,6 +200,25 @@ class SweepLoads:
         """Row index of a live supernode (None when not deployed)."""
         return self._rows.get(supernode_id)
 
+    def ensure_row(self, supernode_id: int) -> int:
+        """Row index for a supernode, growing a zero row if absent.
+
+        The self-healing hook brings replacement capacity online
+        mid-day; its load timeline starts empty.  Stages must re-read
+        ``counts``/``rates`` after fault handling (they already do —
+        both are fetched per subcycle) because growth reallocates.
+        """
+        row = self._rows.get(supernode_id)
+        if row is not None:
+            return row
+        row = len(self.ids)
+        self.ids = self.ids + (supernode_id,)
+        zero = np.zeros((1, self.counts.shape[1]))
+        self.counts = np.vstack([self.counts, zero])
+        self.rates = np.vstack([self.rates, zero])
+        self._rows[supernode_id] = row
+        return row
+
 
 # ----------------------------------------------------------------------
 # bandwidth / egress arithmetic

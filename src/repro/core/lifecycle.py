@@ -26,8 +26,8 @@ from .selection import delay_threshold_ms, select_supernode
 from .state import Session, SimState, cloud_one_way_ms, player_supernode_ms
 
 __all__ = ["MigrationOutcome", "join", "join_cdn", "migrate",
-           "session_window", "take_offline", "fog_availability",
-           "fail_supernodes"]
+           "session_window", "take_offline", "bring_online",
+           "admit_join", "fog_availability", "fail_supernodes"]
 
 _log = obs.get_logger(__name__)
 
@@ -177,6 +177,62 @@ def take_offline(state: SimState, failed: list[Supernode]
     registry.gauge("repro_fog_availability_ratio").set(
         fog_availability(state))
     return orphan_sets
+
+
+def bring_online(state: SimState, supernodes: list[Supernode]) -> None:
+    """Bring replacement supernodes into service (self-healing).
+
+    The inverse of :func:`take_offline`, used by the healing hook
+    after a confirmed domain loss: each node joins the live set and
+    the directory, and pays the same registration latency a scheduled
+    deployment would (one cloud RTT + handshake).  ``deployed_count``
+    grows so the availability gauge never reads above 1.0 after a
+    heal.  Already-online nodes are skipped.
+    """
+    fresh = [sn for sn in supernodes if not sn.online]
+    if not fresh:
+        return
+    for sn in fresh:
+        sn.online = True
+        state.live_supernodes.append(sn)
+        state.live_ids.add(sn.supernode_id)
+        rtt = 2.0 * float(state.cloud_ms[sn.host_player])
+        state.supernode_join_latencies_ms.append(rtt + 20.0)
+    state.directory.rebuild(state.live_supernodes)
+    state.deployed_count = max(state.deployed_count,
+                               len(state.live_supernodes))
+    registry = obs.get_registry()
+    registry.counter("repro_supernode_heals_total").inc(len(fresh))
+    registry.gauge("repro_live_supernodes").set(
+        len(state.live_supernodes))
+    registry.gauge("repro_fog_availability_ratio").set(
+        fog_availability(state))
+
+
+def admit_join(state: SimState, session: Session, policy, subcycle: int,
+               cloud_count: np.ndarray | None) -> bool:
+    """Admission control: may this just-joined session enter service?
+
+    Applies only to cloud-direct sessions — a session that landed on a
+    supernode consumes surviving fog capacity, which is the resource
+    admission control protects.  A cloud join is refused while a
+    fog↔cloud partition is active (``policy.shed_during_partition``)
+    or when the concurrent cloud-session cap is already full at its
+    start subcycle (``policy.max_cloud_sessions``, tracked by the
+    sweep's ``cloud_count`` occupancy line).  ``policy`` is a
+    :class:`~repro.faults.plan.AdmissionPolicy` duck-typed to keep
+    the layering acyclic.
+    """
+    if session.kind is not ConnectionKind.CLOUD:
+        return True
+    if policy.shed_during_partition and state.faults.partition_active(
+            subcycle):
+        return False
+    if (policy.max_cloud_sessions is not None
+            and cloud_count is not None
+            and cloud_count[subcycle] >= policy.max_cloud_sessions):
+        return False
+    return True
 
 
 def fog_availability(state: SimState) -> float:

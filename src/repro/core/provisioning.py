@@ -22,7 +22,8 @@ from ..economics.provider import ProviderModel
 from ..forecast.arima import SeasonalArima
 from .entities import Supernode
 
-__all__ = ["required_supernodes", "rank_preference_selection", "Provisioner"]
+__all__ = ["required_supernodes", "rank_preference_selection",
+           "choose_replacements", "Provisioner"]
 
 
 def required_supernodes(predicted_players: float, average_capacity: float,
@@ -55,6 +56,31 @@ def rank_preference_selection(ranked_candidates: list[int], count: int,
     probabilities = weights / weights.sum()
     picks = rng.choice(n, size=count, replace=False, p=probabilities)
     return [ranked_candidates[int(i)] for i in sorted(picks)]
+
+
+def choose_replacements(pool: list[Supernode], excluded_ids: set[int],
+                        count: int, rng: np.random.Generator
+                        ) -> list[Supernode]:
+    """Pick replacement capacity after a confirmed domain loss.
+
+    Candidates are the idle pool — offline nodes that did not fail
+    today (``excluded_ids``); a node the outage itself killed must not
+    resurrect as its own replacement.  Ranking and selection follow
+    the same 1/rank popularity preference as scheduled provisioning
+    (Eq. 16), so healing favours player-dense areas.  Returns fewer
+    than ``count`` (possibly none) when the idle pool is thin.
+    """
+    if count <= 0:
+        return []
+    candidates = [sn for sn in pool
+                  if not sn.online and sn.supernode_id not in excluded_ids]
+    if not candidates:
+        return []
+    ranked = sorted(candidates, key=lambda sn: -sn.supported_total)
+    picked_ids = rank_preference_selection(
+        [sn.supernode_id for sn in ranked], count, rng)
+    by_id = {sn.supernode_id: sn for sn in candidates}
+    return [by_id[sn_id] for sn_id in picked_ids]
 
 
 @dataclass

@@ -39,21 +39,39 @@ into its own ``shard-NN/`` subdirectory, and resume rebuilds the
 partition states deterministically from the parent config before
 overlaying the captured mutable state
 (:func:`repro.persist.snapshot.overlay_state`).
+
+The parallel runner is itself **self-healing**: a worker process that
+dies (OOM-killed, SIGKILLed, segfaulted) breaks the pool, and the
+supervisor loop in :func:`run_sharded` restarts the unfinished
+partitions — each resuming from the latest *digest-valid* checkpoint
+in its shard directory (corrupt files fall back to the previous day's
+snapshot), or from scratch when none exists — up to ``max_restarts``
+times per partition.  Because resume is bit-identical by construction,
+a healed run merges to exactly the digest an uninterrupted run
+produces, which ``tests/persist/test_shard_determinism.py`` pins by
+SIGKILLing a worker mid-run.  An optional ``heartbeat_timeout_s``
+additionally treats a pool that completes nothing and writes no new
+checkpoint for a whole window as stalled and recycles it through the
+same restart path.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
+from .. import obs
 from ..network.bandwidth import LinkBandwidths
 from ..network.topology import Topology
-from ..persist.checkpoint import Checkpointer, latest_checkpoint
-from ..persist.codec import read_checkpoint
+from ..persist.checkpoint import (CHECKPOINT_GLOB, Checkpointer,
+                                  latest_valid_checkpoint)
 from ..persist.snapshot import overlay_state, restore_result
 from ..sim.rng import RngFactory
 from ..social.graph import FriendGraph
@@ -242,15 +260,117 @@ def _shard_dir(checkpoint_dir, index: int) -> Path:
     return Path(checkpoint_dir) / f"shard-{index:02d}"
 
 
+def _compose_hooks(*hooks):
+    """Chain day-end hooks (Nones dropped), preserving order."""
+    chain = [hook for hook in hooks if hook is not None]
+    if not chain:
+        return None
+    if len(chain) == 1:
+        return chain[0]
+
+    def composed(state, day, result, total_days):
+        for hook in chain:
+            hook(state, day, result, total_days)
+    return composed
+
+
+def _test_kill_hook(index: int):
+    """Crash-recovery test seam: SIGKILL this worker at a chosen day.
+
+    Armed by ``REPRO_SHARD_TEST_KILL=<index>:<day>:<sentinel-path>`` in
+    the worker's environment.  The sentinel file makes the kill
+    one-shot — the restarted worker sees it and runs to completion —
+    and the hook is composed *after* the checkpointer's, so the dying
+    day's checkpoint is already on disk when the process vanishes.
+    Never armed outside the test suite.
+    """
+    spec = os.environ.get("REPRO_SHARD_TEST_KILL")
+    if not spec:
+        return None
+    kill_index, kill_day, sentinel = spec.split(":", 2)
+    if int(kill_index) != index:
+        return None
+    day_to_die = int(kill_day)
+
+    def hook(state, day, result, total_days):
+        if day == day_to_die and not Path(sentinel).exists():
+            Path(sentinel).write_text("killed")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return hook
+
+
+def _test_hang_hook(index: int):
+    """Stall-recovery test seam: wedge this worker at a chosen day.
+
+    Armed by ``REPRO_SHARD_TEST_HANG=<index>:<day>:<sentinel-path>``;
+    the hook writes the sentinel and then sleeps forever, so the worker
+    keeps its process alive but makes no progress — exactly the state
+    the supervisor's heartbeat (no completions, no new checkpoints for
+    a whole window) must detect and recycle.  One-shot via the
+    sentinel, like :func:`_test_kill_hook`.
+    """
+    spec = os.environ.get("REPRO_SHARD_TEST_HANG")
+    if not spec:
+        return None
+    hang_index, hang_day, sentinel = spec.split(":", 2)
+    if int(hang_index) != index:
+        return None
+    day_to_hang = int(hang_day)
+
+    def hook(state, day, result, total_days):
+        if day == day_to_hang and not Path(sentinel).exists():
+            Path(sentinel).write_text("hung")
+            while True:
+                time.sleep(0.05)
+    return hook
+
+
 def _run_partition(partition: ShardPartition, days: int | None,
-                   checkpoint_dir, checkpoint_every: int) -> RunResult:
+                   checkpoint_dir, checkpoint_every: int,
+                   extra_hook=None) -> RunResult:
     """Run one partition's full schedule in the current process."""
     state = SimState(partition.config, population=partition.population)
     hook = None
     if checkpoint_dir is not None:
         hook = Checkpointer(_shard_dir(checkpoint_dir, partition.index),
                             every=checkpoint_every).on_day_end
-    return run_schedule(state, days, on_day_end=hook)
+    return run_schedule(state, days,
+                        on_day_end=_compose_hooks(hook, extra_hook))
+
+
+def _resume_partition(partition: ShardPartition, days: int | None,
+                      checkpoint_dir, checkpoint_every: int,
+                      extra_hook=None) -> RunResult:
+    """Resume one partition from its newest digest-valid checkpoint.
+
+    A corrupt latest checkpoint falls back to the previous day's
+    snapshot (:func:`repro.persist.checkpoint.latest_valid_checkpoint`);
+    with nothing valid on disk the partition simply runs from scratch —
+    bit-identical either way, because resume replays the exact
+    day-scoped RNG schedule.
+    """
+    directory = _shard_dir(checkpoint_dir, partition.index) \
+        if checkpoint_dir is not None else None
+    found = latest_valid_checkpoint(directory) \
+        if directory is not None and directory.is_dir() else None
+    if found is None:
+        return _run_partition(partition, days, checkpoint_dir,
+                              checkpoint_every, extra_hook)
+    path, payload = found
+    if payload["state"]["config"]["num_players"] != \
+            partition.config.num_players:
+        raise ValueError(
+            f"checkpoint {path} does not match partition "
+            f"{partition.index} of this config")
+    state = overlay_state(
+        SimState(partition.config, population=partition.population),
+        payload["state"])
+    result = restore_result(payload["result"])
+    total = payload["run"]["total_days"] if days is None else days
+    hook = Checkpointer(directory, every=checkpoint_every).on_day_end
+    return run_schedule(state, total, result=result,
+                        start_day=payload["day"] + 1,
+                        on_day_end=_compose_hooks(hook, extra_hook))
 
 
 def _partition_worker(args) -> RunResult:
@@ -258,38 +378,140 @@ def _partition_worker(args) -> RunResult:
 
     Workers receive the parent config and a partition index instead of
     a pickled partition — rebuilding is deterministic and cheaper than
-    shipping a population across the process boundary.
+    shipping a population across the process boundary.  ``resume``
+    marks a restart after a worker death: the partition continues from
+    its newest valid checkpoint instead of starting over.
     """
-    config, index, days, checkpoint_dir, checkpoint_every = args
+    config, index, days, checkpoint_dir, checkpoint_every, resume = args
     partition = build_partitions(config)[index]
+    extra_hook = _compose_hooks(_test_kill_hook(index),
+                                _test_hang_hook(index))
+    if resume:
+        return _resume_partition(partition, days, checkpoint_dir,
+                                 checkpoint_every, extra_hook)
     return _run_partition(partition, days, checkpoint_dir,
-                          checkpoint_every)
+                          checkpoint_every, extra_hook)
+
+
+def _checkpoint_signature(checkpoint_dir, indexes) -> frozenset | None:
+    """Fingerprint of the checkpoint files the pending shards have
+    written — the supervisor's progress heartbeat."""
+    if checkpoint_dir is None:
+        return None
+    names = set()
+    for index in indexes:
+        directory = _shard_dir(checkpoint_dir, index)
+        if directory.is_dir():
+            names.update((index, path.name)
+                         for path in directory.glob(CHECKPOINT_GLOB))
+    return frozenset(names)
+
+
+def _run_supervised(config: SystemConfig, partitions, days,
+                    checkpoint_dir, checkpoint_every, workers: int,
+                    max_restarts: int, heartbeat_timeout_s: float | None
+                    ) -> dict[int, RunResult]:
+    """The self-healing supervisor loop over a worker pool.
+
+    Submits every unfinished partition to a fresh pool, collects
+    results, and on a worker death (``BrokenProcessPool`` — the whole
+    pool is poisoned) or a heartbeat stall rebuilds the pool and
+    resubmits the survivors in resume mode.  Raises once any single
+    partition exceeds ``max_restarts`` restarts.
+    """
+    registry = obs.get_registry()
+    results: dict[int, RunResult] = {}
+    pending = {p.index for p in partitions}
+    restarts = dict.fromkeys(pending, 0)
+    resume = dict.fromkeys(pending, False)
+    while pending:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(
+                _partition_worker,
+                (config, index, days, checkpoint_dir, checkpoint_every,
+                 resume[index])): index
+                for index in sorted(pending)}
+            broken = False
+            last_progress = _checkpoint_signature(checkpoint_dir, pending)
+            not_done = set(futures)
+            while not_done and not broken:
+                done, not_done = wait(not_done,
+                                      timeout=heartbeat_timeout_s)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        results[index] = future.result()
+                        pending.discard(index)
+                    except BrokenProcessPool:
+                        broken = True
+                if broken or not not_done:
+                    break
+                if not done and heartbeat_timeout_s is not None:
+                    progress = _checkpoint_signature(checkpoint_dir,
+                                                     pending)
+                    if progress == last_progress:
+                        # Nothing finished and nothing checkpointed for
+                        # a whole heartbeat window: declare the pool
+                        # stalled and recycle it through the restart
+                        # path (termination breaks the pool exactly
+                        # like a worker death).
+                        registry.counter(
+                            "repro_shard_stalls_total").inc()
+                        for process in getattr(pool, "_processes",
+                                               {}).values():
+                            process.terminate()
+                        broken = True
+                    last_progress = progress
+            if broken:
+                for index in sorted(pending):
+                    restarts[index] += 1
+                    resume[index] = True
+                    if restarts[index] > max_restarts:
+                        raise RuntimeError(
+                            f"shard worker for partition {index} died or "
+                            f"stalled {restarts[index]} times "
+                            f"(max_restarts={max_restarts}); giving up")
+                registry.counter("repro_shard_restarts_total").inc(
+                    len(pending))
+                obs.get_events().emit("shard_restart",
+                                      partitions=sorted(pending))
+    return results
 
 
 def run_sharded(config: SystemConfig, days: int | None = None, *,
                 shards: int = 1, checkpoint_dir=None,
-                checkpoint_every: int = 1) -> RunResult:
+                checkpoint_every: int = 1, max_restarts: int = 2,
+                heartbeat_timeout_s: float | None = None) -> RunResult:
     """Run a config as per-region partitions and merge the results.
 
     ``shards`` is pure worker parallelism: 1 executes the partitions
     sequentially in-process, more fans them out over a process pool
     (capped at the machine's core count — extra workers only thrash).
     The merged result is bit-identical for every ``shards`` value.
+
+    The pooled path is supervised: a worker that dies is restarted
+    from its shard's newest valid checkpoint (or from scratch without
+    one) up to ``max_restarts`` times per partition, and — when
+    ``heartbeat_timeout_s`` is set — a pool that completes nothing and
+    writes no new checkpoint for a whole window is recycled the same
+    way.  Healed runs merge bit-identically to uninterrupted ones.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if max_restarts < 0:
+        raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
     partitions = build_partitions(config)
     workers = min(shards, len(partitions), os.cpu_count() or 1)
     if workers <= 1:
         parts = [_run_partition(p, days, checkpoint_dir, checkpoint_every)
                  for p in partitions]
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(
-                _partition_worker,
-                (config, p.index, days, checkpoint_dir, checkpoint_every))
-                for p in partitions]
-            parts = [future.result() for future in futures]
+        results = _run_supervised(config, partitions, days,
+                                  checkpoint_dir, checkpoint_every,
+                                  workers, max_restarts,
+                                  heartbeat_timeout_s)
+        parts = [results[p.index] for p in partitions]
     return merge_results(parts, partitions)
 
 
@@ -299,34 +521,15 @@ def resume_sharded(config: SystemConfig, checkpoint_dir, *,
     """Resume a sharded run from its per-partition checkpoints.
 
     Partitions are rebuilt deterministically from the parent config;
-    each one resumes from the latest checkpoint in its ``shard-NN/``
-    subdirectory (or runs from scratch if it has none), then the
+    each one resumes from the newest digest-valid checkpoint in its
+    ``shard-NN/`` subdirectory — a corrupt file falls back to the
+    previous day's snapshot — or runs from scratch with none, then the
     results merge exactly as in :func:`run_sharded`.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     partitions = build_partitions(config)
-    parts = []
-    for partition in partitions:
-        directory = _shard_dir(checkpoint_dir, partition.index)
-        found = latest_checkpoint(directory) if directory.is_dir() else None
-        if found is None:
-            parts.append(_run_partition(partition, days, checkpoint_dir,
-                                        checkpoint_every))
-            continue
-        payload = read_checkpoint(found)
-        if payload["state"]["config"]["num_players"] != \
-                partition.config.num_players:
-            raise ValueError(
-                f"checkpoint in {directory} does not match partition "
-                f"{partition.index} of this config")
-        state = overlay_state(
-            SimState(partition.config, population=partition.population),
-            payload["state"])
-        result = restore_result(payload["result"])
-        total = payload["run"]["total_days"] if days is None else days
-        hook = Checkpointer(directory, every=checkpoint_every).on_day_end
-        parts.append(run_schedule(state, total, result=result,
-                                  start_day=payload["day"] + 1,
-                                  on_day_end=hook))
+    parts = [_resume_partition(partition, days, checkpoint_dir,
+                               checkpoint_every)
+             for partition in partitions]
     return merge_results(parts, partitions)

@@ -88,6 +88,12 @@ class SimState:
         # fires, and every output stays bit-identical to a system built
         # before the subsystem existed (pinned by tests/faults).
         self.faults = build_injector(config.fault_plan)
+        if config.fault_plan is not None:
+            # Fail fast with an actionable message instead of deep in
+            # the sweep: subcycles and datacenter targets must fit the
+            # schedule/topology this plan is about to run against.
+            config.fault_plan.validate_for(
+                config.schedule.hours_per_day, config.num_datacenters)
         self.failure_detector = self.faults.detector
         self.retry_policy = self.faults.retry
         if (config.fault_plan is not None

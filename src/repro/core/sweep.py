@@ -34,7 +34,7 @@ from ..workload.population import choose_game
 from .accounting import (RunResult, SweepLoads, cloud_bandwidth,
                          credit_contributors, summarize_day)
 from .entities import ConnectionKind
-from .lifecycle import join
+from .lifecycle import admit_join, join
 from .scoring import score_sessions
 from .server_assignment import assign_players_randomly, assign_players_socially
 from .state import Session, SimState, deploy
@@ -97,6 +97,11 @@ class SweepContext:
     sessions: dict[int, Session] = field(default_factory=dict)
     ends: dict[int, list[int]] = field(default_factory=dict)
     fault_rng: np.random.Generator | None = None
+    #: Admission-control policy (duck-typed AdmissionPolicy) and the
+    #: concurrent cloud-session occupancy line it caps against; both
+    #: None unless an active FaultPlan carries an admission policy.
+    admission: object | None = None
+    cloud_count: np.ndarray | None = None
     subcycle: int = 0
 
 
@@ -127,6 +132,15 @@ def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
     counts, rates = ctx.loads.counts, ctx.loads.rates
     for plan in ctx.starts.pop(subcycle, []):
         session = join(state, plan, ctx.rng)
+        if ctx.admission is not None and not admit_join(
+                state, session, ctx.admission, subcycle, ctx.cloud_count):
+            # Backpressure: the join is refused before it becomes a
+            # session — never displaced, never scored.
+            ctx.result.faults.joins_shed += 1
+            obs.get_registry().counter("repro_joins_shed_total").inc()
+            obs.get_events().emit("join_shed", day=ctx.day,
+                                  subcycle=subcycle, player=plan.player)
+            continue
         ctx.sessions[plan.player] = session
         end = min(hours,
                   subcycle + int(np.ceil(plan.duration_hours)) - 1)
@@ -142,6 +156,8 @@ def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
             if state.compression is not None:
                 rate = state.compression.compressed_mbps(rate)
             ctx.cloud_rate[span] += rate
+            if ctx.cloud_count is not None:
+                ctx.cloud_count[span] += 1
         if ctx.measuring and session.join_latency_ms is not None:
             ctx.result.join_latencies_ms.append(session.join_latency_ms)
 
@@ -177,11 +193,18 @@ def sweep_day(state: SimState, plans, rng, result, measuring, day=0):
         state.faults.start_day(day)
         if state.faults.has_events_on(day):
             ctx.fault_rng = state.rng_factory.stream(f"faults-{day}")
+        if state.faults.plan.admission is not None:
+            ctx.admission = state.faults.plan.admission
+            ctx.cloud_count = np.zeros(hours + 2)
 
     for subcycle in range(1, hours + 1):
         ctx.subcycle = subcycle
         for stage in SUBCYCLE_STAGES:
             stage(state, ctx)
+    if state.faults.active:
+        # Shed whatever a still-open partition window left queued, so
+        # the conservation invariant holds at every day boundary.
+        handlers.finish_day(state, ctx)
     # Disconnect everything at day end (cycles do not wrap, §4.1).
     for player, session in ctx.sessions.items():
         if session.supernode_id is not None:
@@ -279,7 +302,7 @@ def day_end_flush(state: SimState, day: int, records, loads,
     not pay for.
     """
     faults = result.faults
-    base = fault_base or (0, 0, 0, 0, 0, 0)
+    base = fault_base or (0,) * 9
     obs.get_timeseries().observe_day(
         day=day, records=records, region_of=state.nearest_dc,
         cloud_bandwidth_mbps=cloud_bandwidth(state, cloud_rate, loads),
@@ -289,15 +312,18 @@ def day_end_flush(state: SimState, day: int, records, loads,
             "degraded": faults.degraded - base[2],
             "dropped": faults.dropped - base[3],
             "retries": faults.retries - base[4],
+            "shed": faults.shed - base[5],
+            "drained": faults.drained - base[6],
+            "joins_shed": faults.joins_shed - base[7],
         },
-        recovery_ms=faults.time_to_recover_ms[base[5]:])
+        recovery_ms=faults.time_to_recover_ms[base[8]:])
 
 
 def _fault_counts(result: RunResult) -> tuple[int, ...]:
     faults = result.faults
     return (faults.displaced, faults.recovered, faults.degraded,
-            faults.dropped, faults.retries,
-            len(faults.time_to_recover_ms))
+            faults.dropped, faults.retries, faults.shed, faults.drained,
+            faults.joins_shed, len(faults.time_to_recover_ms))
 
 
 def run_day(state: SimState, day: int, result: RunResult,

@@ -4,7 +4,10 @@ Four pieces, mirroring the repo's null-object/toggle convention:
 
 * :mod:`repro.faults.plan` — deterministic, seedable
   :class:`FaultPlan` schedules (crashes, flaky supernodes, link
-  degradation, update-message loss) pinned to (day, subcycle) instants.
+  degradation, update-message loss, and the correlated failure
+  domains: datacenter outage, regional outage, mass preemption,
+  fog↔cloud partition) pinned to (day, subcycle) instants, plus the
+  :class:`AdmissionPolicy` / :class:`HealingPolicy` knobs.
 * :mod:`repro.faults.detection` — the heartbeat timeout model behind
   the paper's ~0.5 s failure-detection share of migration latency.
 * :mod:`repro.faults.retry` — bounded, jittered exponential backoff
@@ -28,13 +31,22 @@ from .injector import (
     NullFaultInjector,
     build_injector,
 )
-from .plan import FAULT_KINDS, FaultEvent, FaultPlan, load_fault_plan
+from .plan import (
+    FAULT_KINDS,
+    AdmissionPolicy,
+    FaultEvent,
+    FaultPlan,
+    HealingPolicy,
+    load_fault_plan,
+)
 from .retry import RetryPolicy
 
 __all__ = [
     "FAULT_KINDS",
+    "AdmissionPolicy",
     "FaultEvent",
     "FaultPlan",
+    "HealingPolicy",
     "load_fault_plan",
     "FailureDetector",
     "RetryPolicy",

@@ -64,6 +64,15 @@ class FailureDetector:
         return (self.misses_to_declare * self.heartbeat_interval_ms
                 + self.probe_timeout_ms)
 
+    @property
+    def announced_detection_ms(self) -> float:
+        """Detection time for a provider-*announced* loss (preemption).
+
+        No heartbeat silence to wait out — the control plane said the
+        node is going away — so only the confirming probe remains.
+        """
+        return self.probe_timeout_ms
+
     def detection_latency_ms(
             self, rng: np.random.Generator | None = None) -> float:
         """One detection latency draw; the expectation when ``rng`` is None."""

@@ -50,15 +50,25 @@ class FaultSummary:
     degraded: int = 0
     dropped: int = 0
     retries: int = 0
+    #: Displaced sessions shed because the fog↔cloud partition outlived
+    #: them — the fourth resolution of a displacement.
+    shed: int = 0
+    #: Of the displaced, how many drained gracefully inside a preempt
+    #: warning window (informational overlap, not a separate bucket).
+    drained: int = 0
+    #: *New* joins refused by admission control — never sessions, so
+    #: outside the displacement ledger entirely.
+    joins_shed: int = 0
     time_to_recover_ms: list[float] = field(default_factory=list)
 
     def conserved(self) -> bool:
         """Every displaced session is accounted for."""
-        return self.displaced == self.recovered + self.degraded + self.dropped
+        return self.displaced == (self.recovered + self.degraded
+                                  + self.dropped + self.shed)
 
     def unaccounted(self) -> int:
         return self.displaced - (self.recovered + self.degraded
-                                 + self.dropped)
+                                 + self.dropped + self.shed)
 
     def merge(self, other: "FaultSummary") -> None:
         self.events_applied += other.events_applied
@@ -67,6 +77,9 @@ class FaultSummary:
         self.degraded += other.degraded
         self.dropped += other.dropped
         self.retries += other.retries
+        self.shed += other.shed
+        self.drained += other.drained
+        self.joins_shed += other.joins_shed
         self.time_to_recover_ms.extend(other.time_to_recover_ms)
 
 
@@ -91,6 +104,9 @@ class NullFaultInjector:
     def start_day(self, day: int) -> None:
         pass
 
+    def partition_active(self, subcycle: int) -> bool:
+        return False
+
     def add_penalty(self, player: int, fraction: float) -> None:
         raise RuntimeError(
             "cannot record fault penalties without a FaultPlan")
@@ -112,6 +128,18 @@ class FaultInjector:
         #: Per-player continuity penalty fractions for the current day,
         #: cleared at day start and applied after session scoring.
         self.penalties: dict[int, float] = {}
+        #: Active fog↔cloud partition window (first, last subcycle) for
+        #: the current day, or None.  Day-scoped: windows never span a
+        #: day boundary, so nothing here needs checkpointing.
+        self.partition_window: tuple[int, int] | None = None
+        #: Sessions displaced during a partition that could not re-home
+        #: and could not degrade to cloud:
+        #: (player, rate_mbps, end_subcycle, queued_at_subcycle).
+        self.queued: list[tuple[int, float, int, int]] = []
+        #: Self-healing work due later today: (due_subcycle, count).
+        self.pending_heals: list[tuple[int, int]] = []
+        #: Supernodes that failed today; healing never resurrects them.
+        self.failed_ids: set[int] = set()
 
     def events_at(self, day: int, subcycle: int) -> tuple[FaultEvent, ...]:
         return self.plan.events_at(day, subcycle)
@@ -121,6 +149,16 @@ class FaultInjector:
 
     def start_day(self, day: int) -> None:
         self.penalties.clear()
+        self.partition_window = None
+        self.queued.clear()
+        self.pending_heals.clear()
+        self.failed_ids.clear()
+
+    def partition_active(self, subcycle: int) -> bool:
+        """Is the fog↔cloud link severed at this subcycle?"""
+        return (self.partition_window is not None
+                and self.partition_window[0] <= subcycle
+                <= self.partition_window[1])
 
     def add_penalty(self, player: int, fraction: float) -> None:
         """Accumulate a continuity penalty fraction for one session.

@@ -25,6 +25,28 @@ Four event kinds model the volatility of consumer-grade fog nodes:
     fraction of messages for ``duration_subcycles``; fog-served
     sessions overlapping the window lose continuity proportionally.
 
+Four more model *correlated* failure domains — the regime real
+deployments die in:
+
+``dc_outage``
+    Datacenter ``datacenter`` goes dark: every live supernode homed to
+    it fails at once, and cloud sessions of players homed there pay
+    the re-routing latency to their second-nearest datacenter.
+``regional_outage``
+    A regional ISP melt: every live supernode within ``radius_km`` of
+    a geographic center (explicit ``center_x_km``/``center_y_km``, or
+    the coordinates of ``datacenter``) fails together.
+``preempt``
+    Spot-style mass preemption of ``count`` supernodes.  With
+    ``warning_subcycles > 0`` the provider announces the reclaim, so
+    sessions drain gracefully: detection is the cheap announced-probe
+    time and no continuity penalty is charged.
+``partition``
+    The fog↔cloud link is severed for ``duration_subcycles``: the
+    degraded-to-cloud fallback itself fails, so displaced sessions
+    that cannot re-home onto a supernode queue until the link heals —
+    or are shed if the window outlives them.
+
 Plans are plain data: build them in code, load them from JSON
 (``--faults scenario.json``), or generate a Poisson crash schedule
 with :meth:`FaultPlan.poisson` — same seed, same schedule, always.
@@ -33,7 +55,7 @@ with :meth:`FaultPlan.poisson` — same seed, same schedule, always.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from functools import cached_property
 from pathlib import Path
 
@@ -42,10 +64,12 @@ import numpy as np
 from .detection import FailureDetector
 from .retry import RetryPolicy
 
-__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan", "load_fault_plan"]
+__all__ = ["FAULT_KINDS", "FaultEvent", "FaultPlan", "AdmissionPolicy",
+           "HealingPolicy", "load_fault_plan"]
 
 #: Recognised event kinds.
-FAULT_KINDS = ("crash", "flaky", "degrade_link", "lose_updates")
+FAULT_KINDS = ("crash", "flaky", "degrade_link", "lose_updates",
+               "dc_outage", "regional_outage", "preempt", "partition")
 
 
 @dataclass(frozen=True)
@@ -65,6 +89,17 @@ class FaultEvent:
     duration_subcycles: int = 1
     #: ``degrade_link``: one-way latency added to affected sessions.
     extra_ms: float = 0.0
+    #: ``dc_outage``: the failing datacenter; ``regional_outage``: the
+    #: datacenter whose coordinates center the blast radius (when no
+    #: explicit center is given).
+    datacenter: int | None = None
+    #: ``regional_outage``: explicit blast-radius center (km grid).
+    center_x_km: float | None = None
+    center_y_km: float | None = None
+    #: ``regional_outage``: blast radius around the center.
+    radius_km: float | None = None
+    #: ``preempt``: announced drain window before the reclaim lands.
+    warning_subcycles: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -76,12 +111,72 @@ class FaultEvent:
             raise ValueError("subcycle is 1-based and must be >= 1")
         if self.count < 1:
             raise ValueError("count must be >= 1")
+        if self.supernode_id is not None and self.supernode_id < 0:
+            raise ValueError("supernode_id must be non-negative")
         if not 0.0 <= self.severity <= 1.0:
             raise ValueError("severity must lie in [0, 1]")
         if self.duration_subcycles < 1:
             raise ValueError("duration_subcycles must be >= 1")
         if self.extra_ms < 0:
             raise ValueError("extra_ms must be non-negative")
+        if self.warning_subcycles < 0:
+            raise ValueError("warning_subcycles must be non-negative")
+        if self.datacenter is not None and self.datacenter < 0:
+            raise ValueError("datacenter must be non-negative")
+        if self.radius_km is not None and self.radius_km <= 0:
+            raise ValueError("radius_km must be positive")
+        if self.kind == "dc_outage" and self.datacenter is None:
+            raise ValueError("dc_outage requires a datacenter")
+        if self.kind == "regional_outage":
+            if self.radius_km is None:
+                raise ValueError("regional_outage requires radius_km")
+            has_center = (self.center_x_km is not None
+                          and self.center_y_km is not None)
+            if not has_center and self.datacenter is None:
+                raise ValueError(
+                    "regional_outage requires either center_x_km/"
+                    "center_y_km or a datacenter to center on")
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Backpressure on *new* cloud joins when capacity is saturated.
+
+    With no policy, every join the fog cannot host falls back to the
+    cloud unconditionally.  A policy sheds joins instead: during an
+    active fog↔cloud ``partition`` window (``shed_during_partition``)
+    or once the day's committed concurrent cloud sessions would exceed
+    ``max_cloud_sessions``.  Shed joins are counted in
+    ``FaultSummary.joins_shed`` — they never become sessions.
+    """
+
+    max_cloud_sessions: int | None = None
+    shed_during_partition: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_cloud_sessions is not None \
+                and self.max_cloud_sessions < 0:
+            raise ValueError("max_cloud_sessions must be non-negative")
+
+
+@dataclass(frozen=True)
+class HealingPolicy:
+    """Self-healing re-provisioning after a confirmed domain loss.
+
+    ``delay_subcycles`` after a correlated outage (dc/regional/preempt)
+    is detector-confirmed, the provisioner brings replacement capacity
+    online: ``replacement_share`` of the lost node count, drawn from
+    the offline non-failed pool by rank preference (Eq. 16).
+    """
+
+    delay_subcycles: int = 2
+    replacement_share: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay_subcycles < 1:
+            raise ValueError("delay_subcycles must be >= 1")
+        if not 0.0 < self.replacement_share <= 1.0:
+            raise ValueError("replacement_share must lie in (0, 1]")
 
 
 @dataclass(frozen=True)
@@ -94,7 +189,10 @@ class FaultPlan:
     always-degraded network, independent of scheduled events);
     ``transient_refusal_prob`` makes each fault-driven selection round
     independently time out with that probability (churn turbulence),
-    which is what exercises the backoff retries.
+    which is what exercises the backoff retries.  ``admission`` and
+    ``healing`` opt in to join backpressure and self-healing
+    re-provisioning; both default to off (None) so existing plans keep
+    their exact behaviour.
     """
 
     events: tuple[FaultEvent, ...] = ()
@@ -102,12 +200,49 @@ class FaultPlan:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     ambient_loss_boost: float = 0.0
     transient_refusal_prob: float = 0.0
+    admission: AdmissionPolicy | None = None
+    healing: HealingPolicy | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ambient_loss_boost < 0.5:
             raise ValueError("ambient_loss_boost must lie in [0, 0.5)")
         if not 0.0 <= self.transient_refusal_prob < 1.0:
             raise ValueError("transient_refusal_prob must lie in [0, 1)")
+        windows: dict[int, list[tuple[int, int, FaultEvent]]] = {}
+        for event in self.events:
+            if event.kind == "partition":
+                windows.setdefault(event.day, []).append(
+                    (event.subcycle,
+                     event.subcycle + event.duration_subcycles - 1, event))
+        for day, spans in windows.items():
+            spans.sort()
+            for (s0, e0, _), (s1, _, _) in zip(spans, spans[1:]):
+                if s1 <= e0:
+                    raise ValueError(
+                        f"overlapping partition windows on day {day}: "
+                        f"subcycles {s0}-{e0} and a second window "
+                        f"starting at {s1}; merge them into one event")
+
+    def validate_for(self, hours_per_day: int,
+                     num_datacenters: int) -> None:
+        """Reject targets that fall outside one concrete system.
+
+        Called when a system adopts the plan, so a scenario authored
+        against the wrong topology fails at construction with an
+        actionable message instead of deep inside the sweep.
+        """
+        for i, event in enumerate(self.events):
+            if event.subcycle > hours_per_day:
+                raise ValueError(
+                    f"events[{i}] ({event.kind}, day {event.day}): "
+                    f"subcycle {event.subcycle} is out of range for a "
+                    f"{hours_per_day}-subcycle day")
+            if event.datacenter is not None \
+                    and event.datacenter >= num_datacenters:
+                raise ValueError(
+                    f"events[{i}] ({event.kind}, day {event.day}): "
+                    f"datacenter {event.datacenter} is out of range for "
+                    f"{num_datacenters} datacenters")
 
     @cached_property
     def _by_instant(self) -> dict[tuple[int, int], tuple[FaultEvent, ...]]:
@@ -160,13 +295,18 @@ class FaultPlan:
 
     # -- (de)serialisation -------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        data = {
             "events": [asdict(event) for event in self.events],
             "detector": asdict(self.detector),
             "retry": asdict(self.retry),
             "ambient_loss_boost": self.ambient_loss_boost,
             "transient_refusal_prob": self.transient_refusal_prob,
         }
+        if self.admission is not None:
+            data["admission"] = asdict(self.admission)
+        if self.healing is not None:
+            data["healing"] = asdict(self.healing)
+        return data
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
@@ -174,19 +314,37 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
         known = {"events", "detector", "retry", "ambient_loss_boost",
-                 "transient_refusal_prob"}
+                 "transient_refusal_prob", "admission", "healing"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown fault plan keys: {sorted(unknown)}")
-        events = tuple(FaultEvent(**event)
-                       for event in data.get("events", ()))
-        detector = FailureDetector(**data.get("detector", {}))
-        retry = RetryPolicy(**data.get("retry", {}))
-        return cls(events=events, detector=detector, retry=retry,
+        event_fields = {f.name for f in fields(FaultEvent)}
+        events = []
+        for i, event in enumerate(data.get("events", ())):
+            if not isinstance(event, dict):
+                raise ValueError(f"events[{i}] must be a JSON object")
+            extra = set(event) - event_fields
+            if extra:
+                raise ValueError(
+                    f"events[{i}] has unknown keys {sorted(extra)}; "
+                    f"valid keys: {sorted(event_fields)}")
+            try:
+                events.append(FaultEvent(**event))
+            except ValueError as exc:
+                raise ValueError(f"events[{i}]: {exc}") from exc
+        admission = data.get("admission")
+        healing = data.get("healing")
+        return cls(events=tuple(events),
+                   detector=FailureDetector(**data.get("detector", {})),
+                   retry=RetryPolicy(**data.get("retry", {})),
                    ambient_loss_boost=float(
                        data.get("ambient_loss_boost", 0.0)),
                    transient_refusal_prob=float(
-                       data.get("transient_refusal_prob", 0.0)))
+                       data.get("transient_refusal_prob", 0.0)),
+                   admission=None if admission is None
+                   else AdmissionPolicy(**admission),
+                   healing=None if healing is None
+                   else HealingPolicy(**healing))
 
 
 def load_fault_plan(path: str | Path) -> FaultPlan:

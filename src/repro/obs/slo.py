@@ -171,6 +171,13 @@ def default_policy() -> SloPolicy:
             op="<=", threshold=1000.0,
             description="p95 fault recovery inside the paper's "
                         "sub-second migration claim"),
+        SloObjective(
+            name="no-correlated-loss", metric="faults_shed",
+            op="<=", threshold=0.0,
+            description="no session shed outright by a correlated "
+                        "outage (a fog-cloud partition outliving the "
+                        "session, or an unresolved day-end queue) — "
+                        "the burn-rate alarm for domain-level loss"),
     ))
 
 

@@ -105,6 +105,9 @@ class DaySample:
     faults_degraded: int
     faults_dropped: int
     fault_retries: int
+    faults_shed: int
+    faults_drained: int
+    joins_shed: int
     recovery_p95_ms: float
 
     def as_dict(self) -> dict:
@@ -210,6 +213,9 @@ class TimeSeriesStore:
             faults_degraded=int(deltas.get("degraded", 0)),
             faults_dropped=int(deltas.get("dropped", 0)),
             fault_retries=int(deltas.get("retries", 0)),
+            faults_shed=int(deltas.get("shed", 0)),
+            faults_drained=int(deltas.get("drained", 0)),
+            joins_shed=int(deltas.get("joins_shed", 0)),
             recovery_p95_ms=percentile(list(recovery_ms), 0.95))
 
     def _update_gauges(self, samples: Iterable[DaySample]) -> None:

@@ -27,6 +27,7 @@ from .checkpoint import (
     LoadedCheckpoint,
     checkpoint_path,
     latest_checkpoint,
+    latest_valid_checkpoint,
     load_checkpoint,
     resume_run,
     save_checkpoint,
@@ -74,6 +75,7 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "latest_checkpoint",
+    "latest_valid_checkpoint",
     "LoadedCheckpoint",
     "Checkpointer",
     "resume_run",

@@ -34,7 +34,8 @@ from .snapshot import (capture_result, capture_state, restore_result,
                        restore_state)
 
 __all__ = ["CHECKPOINT_GLOB", "checkpoint_path", "save_checkpoint",
-           "load_checkpoint", "latest_checkpoint", "LoadedCheckpoint",
+           "load_checkpoint", "latest_checkpoint",
+           "latest_valid_checkpoint", "LoadedCheckpoint",
            "Checkpointer", "resume_run"]
 
 #: File-name pattern of one day's checkpoint inside a checkpoint dir.
@@ -119,6 +120,33 @@ def latest_checkpoint(directory: str | Path) -> Path | None:
         if best is None or day > best[0]:
             best = (day, candidate)
     return None if best is None else best[1]
+
+
+def latest_valid_checkpoint(directory: str | Path
+                            ) -> tuple[Path, dict] | None:
+    """The newest checkpoint that passes manifest verification.
+
+    Walks the directory's checkpoints from the highest day down,
+    digest-verifying each (:func:`repro.persist.codec.read_checkpoint`);
+    a corrupt or version-mismatched file is skipped — the previous
+    day's snapshot becomes the restore point — and recorded as a
+    ``checkpoint_corrupt`` event + counter.  Returns the winning
+    ``(path, payload)`` pair, or None when nothing valid remains.
+    """
+    candidates: list[tuple[int, Path]] = []
+    for candidate in Path(directory).glob(CHECKPOINT_GLOB):
+        match = _NAME_RE.search(candidate.name)
+        if match is not None:
+            candidates.append((int(match.group(1)), candidate))
+    for _, path in sorted(candidates, reverse=True):
+        try:
+            return path, read_checkpoint(path)
+        except CheckpointError as exc:
+            obs.get_registry().counter(
+                "repro_checkpoint_corrupt_total").inc()
+            obs.get_events().emit("checkpoint_corrupt", path=str(path),
+                                  error=str(exc))
+    return None
 
 
 @dataclass

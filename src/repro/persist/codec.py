@@ -48,7 +48,9 @@ __all__ = ["FORMAT_NAME", "SCHEMA_VERSION", "CheckpointError",
 FORMAT_NAME = "repro-checkpoint"
 
 #: Bump on any payload layout change; readers reject other versions.
-SCHEMA_VERSION = 1
+#: v2: FaultSummary grew the correlated-loss counters (shed, drained,
+#: joins_shed) — a v1 reader would drop them silently on restore.
+SCHEMA_VERSION = 2
 
 
 class CheckpointError(RuntimeError):

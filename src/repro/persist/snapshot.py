@@ -81,7 +81,7 @@ __all__ = ["config_to_dict", "config_from_dict", "capture_state",
 _GAME_BY_NAME = {game.name: game for game in GAME_CATALOGUE}
 
 _SUMMARY_COUNTS = ("events_applied", "displaced", "recovered", "degraded",
-                   "dropped", "retries")
+                   "dropped", "retries", "shed", "drained", "joins_shed")
 
 
 # ----------------------------------------------------------------------

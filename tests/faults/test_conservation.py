@@ -1,0 +1,107 @@
+"""Session conservation under randomised fault plans (property-style).
+
+The resilience ledger's invariant is that no displaced session ever
+goes missing: every one resolves to exactly one of *recovered* (walked
+back onto a supernode), *degraded* (fell back to direct cloud
+streaming), *dropped* (player gave up mid-backoff) or *shed* (a
+fog↔cloud partition outlived it).  ``FaultSummary.conserved()`` states
+it; these tests pin it over seed-randomised plans mixing every fault
+kind — single-node churn, correlated domain outages, graceful
+preemptions and partitions — with the admission and healing policies
+toggling on and off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.chaos import run_chaos
+from repro.faults.plan import (AdmissionPolicy, FaultEvent, FaultPlan,
+                               HealingPolicy)
+
+DAYS = 2
+HOURS = 24
+NUM_DATACENTERS = 5  # cloudfog_advanced default, which run_chaos uses
+
+
+def random_plan(seed: int) -> FaultPlan:
+    """A seed-deterministic plan mixing every kind and both policies."""
+    rng = np.random.default_rng(seed)
+    events = []
+    for day in range(DAYS):
+        # At most one partition window per day (overlaps are rejected).
+        if rng.random() < 0.6:
+            events.append(FaultEvent(
+                day=day, subcycle=int(rng.integers(1, HOURS - 6)),
+                kind="partition",
+                duration_subcycles=int(rng.integers(1, 7))))
+        for _ in range(int(rng.integers(2, 5))):
+            kind = str(rng.choice([
+                "crash", "flaky", "degrade_link", "lose_updates",
+                "dc_outage", "regional_outage", "preempt"]))
+            subcycle = int(rng.integers(1, HOURS + 1))
+            if kind == "crash":
+                event = FaultEvent(day=day, subcycle=subcycle, kind=kind,
+                                   count=int(rng.integers(1, 4)))
+            elif kind == "flaky":
+                event = FaultEvent(day=day, subcycle=subcycle, kind=kind,
+                                   severity=float(rng.uniform(0.2, 0.9)))
+            elif kind == "degrade_link":
+                event = FaultEvent(day=day, subcycle=subcycle, kind=kind,
+                                   extra_ms=float(rng.uniform(5, 100)))
+            elif kind == "lose_updates":
+                event = FaultEvent(
+                    day=day, subcycle=subcycle, kind=kind,
+                    severity=float(rng.uniform(0.1, 0.9)),
+                    duration_subcycles=int(rng.integers(1, 5)))
+            elif kind == "dc_outage":
+                event = FaultEvent(
+                    day=day, subcycle=subcycle, kind=kind,
+                    datacenter=int(rng.integers(0, NUM_DATACENTERS)))
+            elif kind == "regional_outage":
+                event = FaultEvent(
+                    day=day, subcycle=subcycle, kind=kind,
+                    datacenter=int(rng.integers(0, NUM_DATACENTERS)),
+                    radius_km=float(rng.uniform(5, 60)))
+            else:  # preempt
+                event = FaultEvent(
+                    day=day, subcycle=subcycle, kind=kind,
+                    count=int(rng.integers(1, 4)),
+                    warning_subcycles=int(rng.integers(0, 4)))
+            events.append(event)
+    admission = None
+    if rng.random() < 0.5:
+        admission = AdmissionPolicy(
+            max_cloud_sessions=int(rng.integers(5, 60)))
+    healing = None
+    if rng.random() < 0.5:
+        healing = HealingPolicy(
+            delay_subcycles=int(rng.integers(1, 4)),
+            replacement_share=float(rng.uniform(0.3, 1.0)))
+    return FaultPlan(events=tuple(events),
+                     transient_refusal_prob=float(rng.uniform(0.0, 0.3)),
+                     admission=admission, healing=healing)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_plans_conserve_every_displaced_session(seed):
+    plan = random_plan(seed)
+    result = run_chaos(plan, days=DAYS, seed=seed,
+                       num_players=150, num_supernodes=10)
+    summary = result.faults
+    assert summary.events_applied == len(plan)
+    # The invariant, written out: displaced splits exactly into the
+    # four terminal outcomes; nothing vanishes, nothing double-counts.
+    assert summary.displaced == (summary.recovered + summary.degraded
+                                 + summary.dropped + summary.shed)
+    assert summary.conserved()
+    assert summary.unaccounted() == 0
+    # Graceful drains overlap the terminal outcomes, never exceed them.
+    assert 0 <= summary.drained <= summary.displaced
+    # Shed joins never entered the ledger: they are counted apart.
+    assert summary.joins_shed >= 0
+    assert len(summary.time_to_recover_ms) == summary.recovered
+
+
+def test_plan_generator_is_seed_deterministic():
+    assert random_plan(3) == random_plan(3)
+    assert random_plan(3) != random_plan(4)

@@ -20,6 +20,7 @@ from repro.persist import (
     config_from_dict,
     config_to_dict,
     latest_checkpoint,
+    latest_valid_checkpoint,
     load_checkpoint,
     read_checkpoint,
     resume_run,
@@ -103,6 +104,27 @@ def test_resume_from_directory_picks_latest(tmp_path):
 def test_resume_from_empty_directory_raises(tmp_path):
     with pytest.raises(CheckpointError, match="no checkpoints"):
         resume_run(tmp_path)
+
+
+def test_latest_valid_checkpoint_skips_corrupt_snapshots(tmp_path):
+    """A corrupt newest checkpoint falls back to the previous day's;
+    with every snapshot corrupt nothing valid remains."""
+    hook = Checkpointer(tmp_path, every=1)
+    CloudFogSystem(BASELINE).run(days=DAYS, on_day_end=hook.on_day_end)
+    path, payload = latest_valid_checkpoint(tmp_path)
+    assert path == hook.path_for(DAYS - 1)
+    assert payload["day"] == DAYS - 1
+    # Truncate the newest file: its manifest digest no longer matches.
+    path.write_text(path.read_text()[:-40])
+    path, payload = latest_valid_checkpoint(tmp_path)
+    assert path == hook.path_for(DAYS - 2)
+    assert payload["day"] == DAYS - 2
+    # Hand-edit the next one too (still valid JSON, wrong digest).
+    path.write_text(path.read_text().replace("payload", "paiload", 1))
+    path, payload = latest_valid_checkpoint(tmp_path)
+    assert payload["day"] == DAYS - 3
+    path.unlink()
+    assert latest_valid_checkpoint(tmp_path) is None
 
 
 def test_checkpoint_every_cadence(tmp_path):

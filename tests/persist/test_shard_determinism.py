@@ -148,3 +148,80 @@ def test_sharded_resume_from_missing_dirs_runs_fresh(tmp_path):
     # No checkpoints at all: every partition runs from scratch.
     assert digests(resume_sharded_config(BASELINE, tmp_path / "nothing",
                                          days=days)) == expected
+
+
+# ----------------------------------------------------------------------
+# the runner self-heals: dead and stalled workers are replaced
+# ----------------------------------------------------------------------
+#: A small 2-region config so the healing tests stay fast.
+TINY = cloudfog_advanced(
+    num_players=120, num_datacenters=2, num_supernodes=8, seed=3,
+    schedule=Schedule(days=2, warmup_days=1))
+
+
+@pytest.fixture
+def _pooled(monkeypatch):
+    """Force the pooled supervisor path even on a 1-CPU test box."""
+    import repro.core.shard as shard_module
+
+    monkeypatch.setattr(shard_module.os, "cpu_count", lambda: 8)
+
+
+def test_sigkilled_worker_heals_to_golden(tmp_path, monkeypatch, _pooled):
+    """A worker SIGKILLed mid-run is restarted from its checkpoint and
+    the merged result matches the uninterrupted golden pin bit for bit
+    — the acceptance criterion of the self-healing runner."""
+    sentinel = tmp_path / "killed"
+    monkeypatch.setenv("REPRO_SHARD_TEST_KILL", f"1:1:{sentinel}")
+    result = run_sharded(CHAOS, shards=3, checkpoint_dir=tmp_path / "ckpt")
+    assert sentinel.exists()  # the kill really happened
+    assert digests(result) == GOLDEN_CHAOS
+    assert result.faults.conserved()
+
+
+def test_sigkilled_worker_without_checkpoints_restarts_fresh(
+        tmp_path, monkeypatch, _pooled):
+    """With no checkpoint directory the healed partition replays from
+    scratch — slower, but still bit-identical."""
+    sentinel = tmp_path / "killed"
+    monkeypatch.setenv("REPRO_SHARD_TEST_KILL", f"0:0:{sentinel}")
+    result = run_sharded(BASELINE, shards=3)
+    assert sentinel.exists()
+    assert digests(result) == GOLDEN_BASELINE
+
+
+def test_stalled_worker_is_recycled(tmp_path, monkeypatch, _pooled):
+    """A worker that wedges (alive but silent) trips the heartbeat:
+    no completions and no new checkpoints for a whole window, so the
+    supervisor terminates the pool and resumes from checkpoint."""
+    expected = digests(run_sharded(TINY, shards=1))
+    sentinel = tmp_path / "hung"
+    monkeypatch.setenv("REPRO_SHARD_TEST_HANG", f"0:0:{sentinel}")
+    result = run_sharded(TINY, shards=2, checkpoint_dir=tmp_path / "ckpt",
+                         heartbeat_timeout_s=1.0)
+    assert sentinel.exists()
+    assert digests(result) == expected
+
+
+def test_restart_budget_exhaustion_raises(tmp_path, monkeypatch, _pooled):
+    sentinel = tmp_path / "killed"
+    monkeypatch.setenv("REPRO_SHARD_TEST_KILL", f"0:0:{sentinel}")
+    with pytest.raises(RuntimeError, match="giving up"):
+        run_sharded(TINY, shards=2, checkpoint_dir=tmp_path / "ckpt",
+                    max_restarts=0)
+
+
+def test_healed_run_resumes_from_valid_snapshot_despite_corruption(
+        tmp_path, monkeypatch, _pooled):
+    """Corrupting the killed shard's newest checkpoint *after* the kill
+    cannot be raced here, so this pins the fallback at the resume layer
+    instead: a corrupt latest snapshot falls back to the previous day's
+    (see test_checkpoint.py for latest_valid_checkpoint itself)."""
+    days = CHAOS.schedule.days
+    expected = digests(run_sharded(CHAOS, days, shards=1))
+    run_sharded(CHAOS, days, shards=1, checkpoint_dir=tmp_path)
+    for shard_dir in sorted(tmp_path.iterdir()):
+        newest = sorted(shard_dir.glob("checkpoint-day*.json"))[-1]
+        newest.write_text(newest.read_text()[:-40])  # truncate: corrupt
+    resumed = resume_sharded_config(CHAOS, tmp_path, days=days)
+    assert digests(resumed) == expected

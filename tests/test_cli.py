@@ -32,10 +32,27 @@ def test_chaos_run_accepts_scenario_file(capsys):
 
     scenario = (Path(__file__).parent.parent
                 / "examples" / "chaos_scenario.json")
+    # The scenario displaces sessions, so the cloudfog-default SLO
+    # policy is violated and chaos-run exits non-zero (the CI gate).
+    assert main(["chaos-run", "--faults", str(scenario)]) == 1
+    captured = capsys.readouterr()
+    assert "events applied" in captured.out
+    assert "unaccounted" in captured.out
+    assert "cloudfog-default" in captured.out
+    assert "no-displacements" in captured.out
+    assert "violated on days" in captured.err
+    assert not obs.enabled()  # the forced telemetry was torn down
+
+
+def test_chaos_run_passes_slo_without_displacements(tmp_path, capsys):
+    scenario = tmp_path / "flaky_only.json"
+    scenario.write_text(json.dumps({
+        "events": [{"kind": "flaky", "day": 1, "subcycle": 10,
+                    "count": 1, "severity": 0.8}]}))
     assert main(["chaos-run", "--faults", str(scenario)]) == 0
     out = capsys.readouterr().out
-    assert "events applied" in out
-    assert "unaccounted" in out
+    assert "cloudfog-default" in out
+    assert "VIOLATED" not in out
 
 
 def test_list_prints_catalogue(capsys):
