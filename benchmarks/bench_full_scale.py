@@ -33,7 +33,9 @@ import time
 
 import pytest
 
+from repro.core import sweep
 from repro.core.shard import build_partitions
+from repro.core.system import CloudFogSystem
 from repro.experiments import (
     fig4a_coverage_vs_datacenters,
     fig4b_coverage_vs_supernodes,
@@ -88,6 +90,37 @@ def test_full_scale_system_comparison(benchmark, emit):
 # ---------------------------------------------------------------------------
 # standalone snapshot writer (tools/bench_trend.py diffs these)
 # ---------------------------------------------------------------------------
+def _stage_walls(config, days: int, use_batch: bool) -> dict:
+    """Per-subcycle-stage wall clocks for one single-process run.
+
+    Runs outside the sharded path on purpose: timer-wrapping
+    ``SUBCYCLE_STAGES`` only observes stages executed in this process,
+    and the single-process run makes replay-exact vs
+    ``use_batch_assignment`` directly comparable.
+    """
+    system = CloudFogSystem(config)
+    system.state.use_batch_assignment = use_batch
+    walls: dict[str, float] = {}
+    original = sweep.SUBCYCLE_STAGES
+
+    def timed(fn):
+        name = fn.__name__
+
+        def inner(state, ctx):
+            t0 = time.perf_counter()
+            fn(state, ctx)
+            walls[name] = walls.get(name, 0.0) + time.perf_counter() - t0
+
+        return inner
+
+    sweep.SUBCYCLE_STAGES = tuple(timed(fn) for fn in original)
+    try:
+        system.run(days=days)
+    finally:
+        sweep.SUBCYCLE_STAGES = original
+    return walls
+
+
 def snapshot(scale: float, days: int, seed: int, shards: int,
              coverage_scale: float) -> dict:
     testbed = peersim(scale)
@@ -109,6 +142,19 @@ def snapshot(scale: float, days: int, seed: int, shards: int,
     t0 = time.perf_counter()
     fog = run_sharded_config(fog_config, days, shards=shards)
     fog_s = time.perf_counter() - t0
+
+    # Columnar lifecycle comparison (DESIGN.md §15): the same fog
+    # workload run replay-exact and with ``use_batch_assignment``, with
+    # per-stage wall clocks.  ``arrivals`` is the join/assignment stage
+    # the batch mode rewrites; ``stages`` sums every subcycle stage
+    # (departures + faults + arrivals), i.e. the whole per-player
+    # lifecycle loop.
+    replay_walls = _stage_walls(fog_config, days, use_batch=False)
+    batch_walls = _stage_walls(fog_config, days, use_batch=True)
+    replay_arrivals = replay_walls["stage_arrivals"]
+    batch_arrivals = batch_walls["stage_arrivals"]
+    replay_stages = sum(replay_walls.values())
+    batch_stages = sum(batch_walls.values())
 
     # Warmup days execute the identical per-session pipeline (joins,
     # scoring, migration, faults) — they just don't record metrics — so
@@ -138,6 +184,14 @@ def snapshot(scale: float, days: int, seed: int, shards: int,
             "cloud_wall_s": cloud_s,
             "fog_wall_s": fog_s,
             "total_s": coverage_s + cloud_s + fog_s,
+        },
+        "lifecycle": {
+            "replay_arrivals_s": replay_arrivals,
+            "batch_arrivals_s": batch_arrivals,
+            "arrivals_speedup": replay_arrivals / batch_arrivals,
+            "replay_stages_s": replay_stages,
+            "batch_stages_s": batch_stages,
+            "stages_speedup": replay_stages / batch_stages,
         },
         "coverage": {
             "scale": coverage_scale,
@@ -203,6 +257,13 @@ def main(argv=None) -> int:
           f"cloud {stages['cloud_wall_s']:.1f}s, "
           f"fog {stages['fog_wall_s']:.1f}s "
           f"(total {stages['total_s']:.1f}s)")
+    lifecycle = results["lifecycle"]
+    print(f"lifecycle: arrivals {lifecycle['replay_arrivals_s']:.1f}s "
+          f"replay vs {lifecycle['batch_arrivals_s']:.1f}s batched "
+          f"({lifecycle['arrivals_speedup']:.2f}x), all stages "
+          f"{lifecycle['replay_stages_s']:.1f}s vs "
+          f"{lifecycle['batch_stages_s']:.1f}s "
+          f"({lifecycle['stages_speedup']:.2f}x)")
     print(f"comparison: fog {comparison['fog_sessions_simulated']:,} "
           f"simulated sessions "
           f"({comparison['fog_sessions_recorded']:,} recorded over "

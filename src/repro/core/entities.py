@@ -196,6 +196,17 @@ class Supernode:
         self._connected.discard(player)
         self._refresh_available()
 
+    def disconnect_many(self, players) -> None:
+        """Disconnect a batch at once: one availability refresh.
+
+        Equivalent to ``disconnect`` per player — set discard is
+        order-independent and the availability byte depends only on
+        the final load — so the vectorised departure stage stays
+        bit-identical to the scalar loop it replaced.
+        """
+        self._connected.difference_update(players)
+        self._refresh_available()
+
     def fail(self) -> set[int]:
         """Take the supernode offline; return the orphaned players."""
         self._online = False

@@ -132,11 +132,11 @@ def gather_session_params(state: SimState, sessions, loads, cloud_rate):
                        if state.compression is not None else 0.0)
     load_stats: dict[tuple[int, int, int], tuple[float, float]] = {}
     cloud_utils: dict[tuple[int, int], float] = {}
+    cols = getattr(sessions, "columns", None)
     meta = []  # (player, session, game, target, server_latency_ms)
     budgets: list[float] = []
     path_lat: list[float] = []
     senders: list[float] = []
-    receivers: list[float] = []
     processing: list[float] = []
     utils: list[float] = []
     for player, session in sessions.items():
@@ -182,13 +182,24 @@ def gather_session_params(state: SimState, sessions, loads, cloud_rate):
             server_latency = server_cache.get(player, default_hop_ms)
         meta.append((player, session, game, target, server_latency))
         budgets.append(game.latency_requirement_ms)
-        path_lat.append(session.downstream_one_way_ms)
+        if cols is None:
+            path_lat.append(session.downstream_one_way_ms)
         senders.append(sender_share)
-        receivers.append(float(download[player]))
         processing.append(encode_ms)
         utils.append(utilization)
-    arrays = tuple(np.asarray(a, dtype=np.float64) for a in (
-        budgets, path_lat, senders, receivers, processing, utils))
+    # Latency and download columns gather in one indexed read each —
+    # the setter-maintained float64 mirrors hold the exact bits the
+    # per-session attribute reads appended, in the same (dict) order.
+    players_arr = np.fromiter((m[0] for m in meta), dtype=np.intp,
+                              count=len(meta))
+    path_arr = (cols.latency_ms[players_arr] if cols is not None
+                else np.asarray(path_lat, dtype=np.float64))
+    receivers_arr = np.asarray(download,
+                               dtype=np.float64)[players_arr]
+    arrays = (np.asarray(budgets, dtype=np.float64), path_arr,
+              np.asarray(senders, dtype=np.float64), receivers_arr,
+              np.asarray(processing, dtype=np.float64),
+              np.asarray(utils, dtype=np.float64))
     return meta, arrays
 
 
@@ -215,7 +226,12 @@ def score_sessions_batch(state: SimState, day, sessions, loads, cloud_rate,
     # order, then one exact tolist() per column — identical bits to
     # per-record Python-float arithmetic without 3 numpy scalar
     # extractions per session.
-    upstreams = np.array([m[1].upstream_one_way_ms for m in meta])
+    cols = getattr(sessions, "columns", None)
+    if cols is not None:
+        upstreams = cols.upstream_ms[np.fromiter(
+            (m[0] for m in meta), dtype=np.intp, count=len(meta))]
+    else:
+        upstreams = np.array([m[1].upstream_one_way_ms for m in meta])
     server_lats = np.array([m[4] for m in meta])
     responses = (upstreams + outcome.mean_response_latency_ms
                  + server_lats + PLAYOUT_PROCESSING_MS).tolist()

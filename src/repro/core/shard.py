@@ -327,9 +327,11 @@ def _test_hang_hook(index: int):
 
 def _run_partition(partition: ShardPartition, days: int | None,
                    checkpoint_dir, checkpoint_every: int,
-                   extra_hook=None) -> RunResult:
+                   extra_hook=None,
+                   use_batch_assignment: bool = False) -> RunResult:
     """Run one partition's full schedule in the current process."""
     state = SimState(partition.config, population=partition.population)
+    state.use_batch_assignment = use_batch_assignment
     hook = None
     if checkpoint_dir is not None:
         hook = Checkpointer(_shard_dir(checkpoint_dir, partition.index),
@@ -340,7 +342,8 @@ def _run_partition(partition: ShardPartition, days: int | None,
 
 def _resume_partition(partition: ShardPartition, days: int | None,
                       checkpoint_dir, checkpoint_every: int,
-                      extra_hook=None) -> RunResult:
+                      extra_hook=None,
+                      use_batch_assignment: bool = False) -> RunResult:
     """Resume one partition from its newest digest-valid checkpoint.
 
     A corrupt latest checkpoint falls back to the previous day's
@@ -355,7 +358,8 @@ def _resume_partition(partition: ShardPartition, days: int | None,
         if directory is not None and directory.is_dir() else None
     if found is None:
         return _run_partition(partition, days, checkpoint_dir,
-                              checkpoint_every, extra_hook)
+                              checkpoint_every, extra_hook,
+                              use_batch_assignment=use_batch_assignment)
     path, payload = found
     if payload["state"]["config"]["num_players"] != \
             partition.config.num_players:
@@ -382,15 +386,18 @@ def _partition_worker(args) -> RunResult:
     marks a restart after a worker death: the partition continues from
     its newest valid checkpoint instead of starting over.
     """
-    config, index, days, checkpoint_dir, checkpoint_every, resume = args
+    (config, index, days, checkpoint_dir, checkpoint_every, resume,
+     use_batch_assignment) = args
     partition = build_partitions(config)[index]
     extra_hook = _compose_hooks(_test_kill_hook(index),
                                 _test_hang_hook(index))
     if resume:
-        return _resume_partition(partition, days, checkpoint_dir,
-                                 checkpoint_every, extra_hook)
+        return _resume_partition(
+            partition, days, checkpoint_dir, checkpoint_every, extra_hook,
+            use_batch_assignment=use_batch_assignment)
     return _run_partition(partition, days, checkpoint_dir,
-                          checkpoint_every, extra_hook)
+                          checkpoint_every, extra_hook,
+                          use_batch_assignment=use_batch_assignment)
 
 
 def _checkpoint_signature(checkpoint_dir, indexes) -> frozenset | None:
@@ -409,7 +416,8 @@ def _checkpoint_signature(checkpoint_dir, indexes) -> frozenset | None:
 
 def _run_supervised(config: SystemConfig, partitions, days,
                     checkpoint_dir, checkpoint_every, workers: int,
-                    max_restarts: int, heartbeat_timeout_s: float | None
+                    max_restarts: int, heartbeat_timeout_s: float | None,
+                    use_batch_assignment: bool = False
                     ) -> dict[int, RunResult]:
     """The self-healing supervisor loop over a worker pool.
 
@@ -430,7 +438,7 @@ def _run_supervised(config: SystemConfig, partitions, days,
             futures = {pool.submit(
                 _partition_worker,
                 (config, index, days, checkpoint_dir, checkpoint_every,
-                 resume[index])): index
+                 resume[index], use_batch_assignment)): index
                 for index in sorted(pending)}
             broken = False
             last_progress = _checkpoint_signature(checkpoint_dir, pending)
@@ -482,7 +490,8 @@ def _run_supervised(config: SystemConfig, partitions, days,
 def run_sharded(config: SystemConfig, days: int | None = None, *,
                 shards: int = 1, checkpoint_dir=None,
                 checkpoint_every: int = 1, max_restarts: int = 2,
-                heartbeat_timeout_s: float | None = None) -> RunResult:
+                heartbeat_timeout_s: float | None = None,
+                use_batch_assignment: bool = False) -> RunResult:
     """Run a config as per-region partitions and merge the results.
 
     ``shards`` is pure worker parallelism: 1 executes the partitions
@@ -496,6 +505,11 @@ def run_sharded(config: SystemConfig, days: int | None = None, *,
     ``heartbeat_timeout_s`` is set — a pool that completes nothing and
     writes no new checkpoint for a whole window is recycled the same
     way.  Healed runs merge bit-identically to uninterrupted ones.
+
+    ``use_batch_assignment`` turns on cohort-batched join assignment in
+    every partition (DESIGN.md §15) — a mode toggle like
+    ``use_batch_scoring``, carried into checkpoints, with its own
+    golden pins.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -504,20 +518,23 @@ def run_sharded(config: SystemConfig, days: int | None = None, *,
     partitions = build_partitions(config)
     workers = min(shards, len(partitions), os.cpu_count() or 1)
     if workers <= 1:
-        parts = [_run_partition(p, days, checkpoint_dir, checkpoint_every)
+        parts = [_run_partition(p, days, checkpoint_dir, checkpoint_every,
+                                use_batch_assignment=use_batch_assignment)
                  for p in partitions]
     else:
         results = _run_supervised(config, partitions, days,
                                   checkpoint_dir, checkpoint_every,
                                   workers, max_restarts,
-                                  heartbeat_timeout_s)
+                                  heartbeat_timeout_s,
+                                  use_batch_assignment=use_batch_assignment)
         parts = [results[p.index] for p in partitions]
     return merge_results(parts, partitions)
 
 
 def resume_sharded(config: SystemConfig, checkpoint_dir, *,
                    days: int | None = None, shards: int = 1,
-                   checkpoint_every: int = 1) -> RunResult:
+                   checkpoint_every: int = 1,
+                   use_batch_assignment: bool = False) -> RunResult:
     """Resume a sharded run from its per-partition checkpoints.
 
     Partitions are rebuilt deterministically from the parent config;
@@ -529,7 +546,8 @@ def resume_sharded(config: SystemConfig, checkpoint_dir, *,
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     partitions = build_partitions(config)
-    parts = [_resume_partition(partition, days, checkpoint_dir,
-                               checkpoint_every)
+    parts = [_resume_partition(
+        partition, days, checkpoint_dir, checkpoint_every,
+        use_batch_assignment=use_batch_assignment)
              for partition in partitions]
     return merge_results(parts, partitions)

@@ -23,7 +23,7 @@ never ``core.system`` or ``experiments`` (``tools/check_layering.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,10 +34,10 @@ from ..workload.population import choose_game
 from .accounting import (RunResult, SweepLoads, cloud_bandwidth,
                          credit_contributors, summarize_day)
 from .entities import ConnectionKind
-from .lifecycle import admit_join, join
+from .lifecycle import admit_join, join, join_cohort
 from .scoring import score_sessions
 from .server_assignment import assign_players_randomly, assign_players_socially
-from .state import Session, SimState, deploy
+from .state import SessionTable, SimState, deploy
 
 __all__ = ["SweepContext", "SUBCYCLE_STAGES", "stage_departures",
            "stage_faults", "stage_arrivals", "sample_plans",
@@ -94,8 +94,9 @@ class SweepContext:
     loads: SweepLoads
     cloud_rate: np.ndarray
     starts: dict[int, list[PlayerDayPlan]]
-    sessions: dict[int, Session] = field(default_factory=dict)
-    ends: dict[int, list[int]] = field(default_factory=dict)
+    #: Live sessions keyed by player, with their columnar mirror
+    #: (``sessions.columns``) the vectorised stages mask over.
+    sessions: SessionTable
     fault_rng: np.random.Generator | None = None
     #: Admission-control policy (duck-typed AdmissionPolicy) and the
     #: concurrent cloud-session occupancy line it caps against; both
@@ -105,12 +106,34 @@ class SweepContext:
     subcycle: int = 0
 
 
+def _grouped_disconnect(state: SimState, players: np.ndarray,
+                        sids: np.ndarray) -> None:
+    """One ``disconnect_many`` per distinct supernode.
+
+    Bit-identical to per-player ``disconnect`` calls: set discard is
+    order-independent and the availability byte depends only on the
+    final load, so grouping changes nothing observable.
+    """
+    pool = state.supernode_pool
+    for sid in np.unique(sids).tolist():
+        pool[sid].disconnect_many(players[sids == sid].tolist())
+
+
 def stage_departures(state: SimState, ctx: SweepContext) -> None:
-    """Disconnect every session whose play window ended this subcycle."""
-    for player in ctx.ends.pop(ctx.subcycle, []):
-        session = ctx.sessions.get(player)
-        if session is not None and session.supernode_id is not None:
-            state.supernode_pool[session.supernode_id].disconnect(player)
+    """Disconnect every session whose play window ended this subcycle.
+
+    Vectorised over :class:`~repro.core.columns.SessionColumns`: the
+    mask ``active & end_subcycle == subcycle-1 & supernode_id >= 0``
+    selects exactly the players the per-player ``ends`` bookkeeping
+    used to pop — a popped (dropped/shed) session has ``active == 0``
+    and a cloud/queued session mirrors ``supernode_id == -1``.
+    """
+    cols = ctx.sessions.columns
+    ended = np.flatnonzero((cols.active == 1)
+                           & (cols.end_subcycle == ctx.subcycle - 1)
+                           & (cols.supernode_id >= 0))
+    if ended.size:
+        _grouped_disconnect(state, ended, cols.supernode_id[ended])
 
 
 def stage_faults(state: SimState, ctx: SweepContext) -> None:
@@ -126,11 +149,114 @@ def stage_faults(state: SimState, ctx: SweepContext) -> None:
                               ctx.result, ctx.measuring, ctx.hours)
 
 
-def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
-    """Join every plan starting this subcycle; commit its load span."""
+def _commit_session(state: SimState, ctx: SweepContext, plan, session):
+    """Insert one admitted session and commit its load span."""
     subcycle, hours = ctx.subcycle, ctx.hours
-    counts, rates = ctx.loads.counts, ctx.loads.rates
-    for plan in ctx.starts.pop(subcycle, []):
+    end = min(hours, subcycle + int(np.ceil(plan.duration_hours)) - 1)
+    game = state.games[plan.player]
+    ctx.sessions.add(session, subcycle, end, game.stream_rate_mbps)
+    span = slice(subcycle, end + 1)
+    if session.supernode_id is not None:
+        row = ctx.loads.row(session.supernode_id)
+        ctx.loads.counts[row, span] += 1
+        ctx.loads.rates[row, span] += game.stream_rate_mbps
+    elif session.kind is ConnectionKind.CLOUD:
+        rate = game.stream_rate_mbps
+        if state.compression is not None:
+            rate = state.compression.compressed_mbps(rate)
+        ctx.cloud_rate[span] += rate
+        if ctx.cloud_count is not None:
+            ctx.cloud_count[span] += 1
+    if ctx.measuring and session.join_latency_ms is not None:
+        ctx.result.join_latencies_ms.append(session.join_latency_ms)
+
+
+def _span_add(target: np.ndarray, rows, ends, start: int, values) -> None:
+    """``target[rows[i], start:ends[i]+1] += values[i]`` for all ``i``.
+
+    Flattens every span into one ``np.add.at`` call.  Increments apply
+    in array order, i.e. plan order — the same order the per-session
+    slice adds would have used, so float accumulation is bit-identical.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lengths = ends - start + 1
+    offsets = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    cols = start + np.arange(int(lengths.sum()), dtype=np.int64) - offsets
+    flat = np.repeat(rows, lengths) * target.shape[-1] + cols
+    if np.isscalar(values):
+        np.add.at(target.reshape(-1), flat, values)
+    else:
+        np.add.at(target.reshape(-1), flat,
+                  np.repeat(np.asarray(values, dtype=np.float64), lengths))
+
+
+def _commit_cohort(state: SimState, ctx: SweepContext, plans,
+                   sessions) -> None:
+    """Insert a whole join cohort; commit its load spans in batch.
+
+    The batch-assignment counterpart of per-plan
+    :func:`_commit_session`: the table inserts stay per session (they
+    bind the columnar mirror), but the load/cloud-rate span additions
+    collapse into one :func:`_span_add` per array.
+    """
+    subcycle, hours = ctx.subcycle, ctx.hours
+    games = state.games
+    table = ctx.sessions
+    compression = state.compression
+    measuring = ctx.measuring
+    latencies = ctx.result.join_latencies_ms
+    ends = np.minimum(hours, subcycle - 1 + np.ceil(
+        [plan.duration_hours for plan in plans]).astype(np.int64)).tolist()
+    sn_rows: list[int] = []
+    sn_ends: list[int] = []
+    sn_rates: list[float] = []
+    cloud_ends: list[int] = []
+    cloud_rates: list[float] = []
+    for plan, session, end in zip(plans, sessions, ends):
+        rate = games[plan.player].stream_rate_mbps
+        table.add(session, subcycle, end, rate)
+        if session.supernode_id is not None:
+            sn_rows.append(ctx.loads.row(session.supernode_id))
+            sn_ends.append(end)
+            sn_rates.append(rate)
+        elif session.kind is ConnectionKind.CLOUD:
+            if compression is not None:
+                rate = compression.compressed_mbps(rate)
+            cloud_ends.append(end)
+            cloud_rates.append(rate)
+        if measuring and session.join_latency_ms is not None:
+            latencies.append(session.join_latency_ms)
+    if sn_rows:
+        _span_add(ctx.loads.counts, sn_rows, sn_ends, subcycle, 1)
+        _span_add(ctx.loads.rates, sn_rows, sn_ends, subcycle, sn_rates)
+    if cloud_ends:
+        zeros = np.zeros(len(cloud_ends), dtype=np.int64)
+        _span_add(ctx.cloud_rate, zeros, cloud_ends, subcycle, cloud_rates)
+        if ctx.cloud_count is not None:
+            _span_add(ctx.cloud_count, zeros, cloud_ends, subcycle, 1)
+
+
+def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
+    """Join every plan starting this subcycle; commit its load span.
+
+    Default mode joins one plan at a time — the §3.2.2 sequential
+    capacity-ask, each join seeing the loads left by the previous one.
+    Under ``state.use_batch_assignment`` whole cohorts are probed and
+    scored at once (:func:`~repro.core.lifecycle.join_cohort`); the
+    commit order stays plan order.  Admission control (backpressure)
+    always takes the scalar path: its shed decision depends on the
+    cloud occupancy each prior join in the *same* subcycle committed.
+    """
+    subcycle = ctx.subcycle
+    plans = ctx.starts.pop(subcycle, [])
+    if not plans:
+        return
+    if state.use_batch_assignment and ctx.admission is None:
+        _commit_cohort(state, ctx, plans,
+                       join_cohort(state, plans, ctx.rng))
+        return
+    for plan in plans:
         session = join(state, plan, ctx.rng)
         if ctx.admission is not None and not admit_join(
                 state, session, ctx.admission, subcycle, ctx.cloud_count):
@@ -141,25 +267,7 @@ def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
             obs.get_events().emit("join_shed", day=ctx.day,
                                   subcycle=subcycle, player=plan.player)
             continue
-        ctx.sessions[plan.player] = session
-        end = min(hours,
-                  subcycle + int(np.ceil(plan.duration_hours)) - 1)
-        ctx.ends.setdefault(end + 1, []).append(plan.player)
-        game = state.games[plan.player]
-        span = slice(subcycle, end + 1)
-        if session.supernode_id is not None:
-            row = ctx.loads.row(session.supernode_id)
-            counts[row, span] += 1
-            rates[row, span] += game.stream_rate_mbps
-        elif session.kind is ConnectionKind.CLOUD:
-            rate = game.stream_rate_mbps
-            if state.compression is not None:
-                rate = state.compression.compressed_mbps(rate)
-            ctx.cloud_rate[span] += rate
-            if ctx.cloud_count is not None:
-                ctx.cloud_count[span] += 1
-        if ctx.measuring and session.join_latency_ms is not None:
-            ctx.result.join_latencies_ms.append(session.join_latency_ms)
+        _commit_session(state, ctx, plan, session)
 
 
 #: The per-subcycle stage pipeline, in execution order.  Read
@@ -187,7 +295,8 @@ def sweep_day(state: SimState, plans, rng, result, measuring, day=0):
     ctx = SweepContext(
         day=day, hours=hours, rng=rng, result=result, measuring=measuring,
         loads=SweepLoads.for_supernodes(state.live_supernodes, hours),
-        cloud_rate=np.zeros(hours + 2), starts=starts)
+        cloud_rate=np.zeros(hours + 2), starts=starts,
+        sessions=SessionTable(state.topology.num_players))
 
     if state.faults.active:
         state.faults.start_day(day)
@@ -206,9 +315,10 @@ def sweep_day(state: SimState, plans, rng, result, measuring, day=0):
         # the conservation invariant holds at every day boundary.
         handlers.finish_day(state, ctx)
     # Disconnect everything at day end (cycles do not wrap, §4.1).
-    for player, session in ctx.sessions.items():
-        if session.supernode_id is not None:
-            state.supernode_pool[session.supernode_id].disconnect(player)
+    cols = ctx.sessions.columns
+    live = np.flatnonzero((cols.active == 1) & (cols.supernode_id >= 0))
+    if live.size:
+        _grouped_disconnect(state, live, cols.supernode_id[live])
     return ctx.sessions, ctx.loads, ctx.cloud_rate
 
 

@@ -117,8 +117,8 @@ def run_config(config: SystemConfig, days: int, label: str = "custom",
 
 def run_sharded_config(config: SystemConfig, days: int, *,
                        shards: int = 1, label: str = "sharded",
-                       checkpoint_dir=None, checkpoint_every: int = 1
-                       ) -> RunResult:
+                       checkpoint_dir=None, checkpoint_every: int = 1,
+                       use_batch_assignment: bool = False) -> RunResult:
     """Run a config as geographically sharded partitions and merge.
 
     Thin tracing wrapper over :func:`repro.core.shard.run_sharded`:
@@ -133,18 +133,21 @@ def run_sharded_config(config: SystemConfig, days: int, *,
                                players=config.num_players, shards=shards):
         return run_sharded(config, days, shards=shards,
                            checkpoint_dir=checkpoint_dir,
-                           checkpoint_every=checkpoint_every)
+                           checkpoint_every=checkpoint_every,
+                           use_batch_assignment=use_batch_assignment)
 
 
 def resume_sharded_config(config: SystemConfig, checkpoint_dir, *,
                           days: int | None = None, shards: int = 1,
-                          checkpoint_every: int = 1) -> RunResult:
+                          checkpoint_every: int = 1,
+                          use_batch_assignment: bool = False) -> RunResult:
     """Resume a sharded run from its per-partition checkpoint dirs."""
     with obs.get_tracer().span("run_variant", variant="resume-sharded",
                                seed=config.seed, shards=shards):
         return resume_sharded(config, checkpoint_dir, days=days,
                               shards=shards,
-                              checkpoint_every=checkpoint_every)
+                              checkpoint_every=checkpoint_every,
+                              use_batch_assignment=use_batch_assignment)
 
 
 def resume_config(source, days: int | None = None, checkpoint_dir=None,

@@ -31,9 +31,10 @@ from __future__ import annotations
 import numpy as np
 
 from .. import obs
+from ..core.columns import KIND_CLOUD
 from ..core.entities import ConnectionKind, Supernode
-from ..core.lifecycle import (bring_online, migrate, session_window,
-                              take_offline)
+from ..core.lifecycle import (bring_online, migrate, ordered_orphans,
+                              session_window, take_offline)
 from ..core.provisioning import choose_replacements
 from ..core.selection import delay_threshold_ms
 from ..core.state import SimState, player_supernode_ms
@@ -157,116 +158,178 @@ def _rehome_orphans(state: SimState, orphan_sets, day, subcycle, sessions,
     counts, rates = loads.counts, loads.rates
     summary = result.faults
     partitioned = injector.partition_active(subcycle)
-    for sn, orphans in orphan_sets:
-        for player in sorted(orphans):
-            state.sticky.pop(player, None)
-            state.reputation.penalize(player, sn.supernode_id, today=day)
-            summary.displaced += 1
-            registry.counter("repro_fault_displaced_total").inc()
-            session = sessions.get(player)
-            if session is None or session.supernode_id != sn.supernode_id:
-                # No live session bookkeeping to re-home (connected
-                # out of band): account it as dropped, not lost.
-                summary.dropped += 1
-                registry.counter("repro_fault_dropped_total").inc()
-                event_log.emit("session_dropped", day=day,
-                               subcycle=subcycle, player=player,
-                               supernode_id=sn.supernode_id)
-                continue
-            game = state.games[player]
-            start, end = session_window(session, hours)
-            span = slice(subcycle, end + 1)
-            row = loads.row(sn.supernode_id)
-            if row is not None:
-                counts[row, span] -= 1
-                rates[row, span] -= game.stream_rate_mbps
-            if graceful:
-                detection = detector.announced_detection_ms
-                summary.drained += 1
-                registry.counter("repro_fault_drained_total").inc()
-            else:
-                detection = detector.detection_latency_ms(frng)
-            event_log.emit("detector_trip", day=day, subcycle=subcycle,
-                           player=player, supernode_id=sn.supernode_id,
-                           detection_ms=detection)
-            l_max = delay_threshold_ms(game.latency_requirement_ms)
-            outcome = migrate(state, player, l_max, frng,
-                              transient_refusal=transient)
-            retries = max(0, outcome.attempts - 1)
-            summary.retries += retries
-            if retries:
-                registry.counter("repro_fault_retries_total").inc(retries)
-            ttr = detection + outcome.latency_ms
-            queued = False
-            if outcome.supernode_id is not None:
-                new_row = loads.row(outcome.supernode_id)
-                if new_row is not None:
-                    counts[new_row, span] += 1
-                    rates[new_row, span] += game.stream_rate_mbps
-                new_sn = state.supernode_pool[outcome.supernode_id]
-                session.supernode_id = outcome.supernode_id
-                session.downstream_one_way_ms = \
-                    player_supernode_ms(state, player, new_sn)
-                summary.recovered += 1
-                summary.time_to_recover_ms.append(ttr)
-                if measuring:
-                    result.migration_latencies_ms.append(ttr)
-                registry.counter("repro_fault_recovered_total").inc()
-                registry.counter("repro_migrations_total").inc()
-                registry.histogram("repro_migration_latency_ms").observe(
-                    ttr)
-                registry.histogram(
-                    "repro_time_to_recover_ms",
-                    buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(ttr)
-                event_log.emit("migration", day=day, subcycle=subcycle,
-                               player=player,
-                               from_supernode=sn.supernode_id,
-                               to_supernode=outcome.supernode_id,
-                               retries=retries, ttr_ms=ttr)
-            elif partitioned:
-                # The cloud fallback is the severed link: park the
-                # session until the partition window closes.  Its
-                # resolution (degraded or shed) is deferred.
-                session.kind = ConnectionKind.CLOUD
-                session.supernode_id = None
-                session.downstream_one_way_ms = \
-                    session.upstream_one_way_ms
-                rate = game.stream_rate_mbps
-                if state.compression is not None:
-                    rate = state.compression.compressed_mbps(rate)
-                injector.queued.append((player, rate, end, subcycle))
-                queued = True
-                registry.counter("repro_fault_queued_total").inc()
-                event_log.emit("session_queued", day=day,
-                               subcycle=subcycle, player=player,
-                               from_supernode=sn.supernode_id,
-                               retries=retries)
-            else:
-                # Graceful degradation: the cloud streams directly
-                # for the rest of the session.
-                session.kind = ConnectionKind.CLOUD
-                session.supernode_id = None
-                session.downstream_one_way_ms = \
-                    session.upstream_one_way_ms
-                rate = game.stream_rate_mbps
-                if state.compression is not None:
-                    rate = state.compression.compressed_mbps(rate)
-                cloud_rate[span] += rate
-                summary.degraded += 1
-                registry.counter("repro_fault_degraded_total").inc()
-                event_log.emit("cloud_fallback", day=day,
-                               subcycle=subcycle, player=player,
-                               from_supernode=sn.supernode_id,
-                               retries=retries, ttr_ms=ttr)
-            if queued or graceful:
-                # Queue wait is charged at drain time; a graceful
-                # drain had the warning window to hand over cleanly.
-                continue
-            # The stream stalled for detection + reconnect: charge
-            # the gap against the session's remaining play time.
-            remaining_ms = max(1.0,
-                               (end - subcycle + 1) * 3_600_000.0)
-            state.faults.add_penalty(player, ttr / remaining_ms)
+    ordered = ordered_orphans(orphan_sets)
+    hints = (_batch_candidate_hints(state, ordered)
+             if state.use_batch_assignment else None)
+    for sn, player in ordered:
+        state.sticky.pop(player, None)
+        state.reputation.penalize(player, sn.supernode_id, today=day)
+        summary.displaced += 1
+        registry.counter("repro_fault_displaced_total").inc()
+        session = sessions.get(player)
+        if session is None or session.supernode_id != sn.supernode_id:
+            # No live session bookkeeping to re-home (connected
+            # out of band): account it as dropped, not lost.
+            summary.dropped += 1
+            registry.counter("repro_fault_dropped_total").inc()
+            event_log.emit("session_dropped", day=day,
+                           subcycle=subcycle, player=player,
+                           supernode_id=sn.supernode_id)
+            continue
+        game = state.games[player]
+        start, end = session_window(session, hours)
+        span = slice(subcycle, end + 1)
+        row = loads.row(sn.supernode_id)
+        if row is not None:
+            counts[row, span] -= 1
+            rates[row, span] -= game.stream_rate_mbps
+        if graceful:
+            detection = detector.announced_detection_ms
+            summary.drained += 1
+            registry.counter("repro_fault_drained_total").inc()
+        else:
+            detection = detector.detection_latency_ms(frng)
+        event_log.emit("detector_trip", day=day, subcycle=subcycle,
+                       player=player, supernode_id=sn.supernode_id,
+                       detection_ms=detection)
+        l_max = delay_threshold_ms(game.latency_requirement_ms)
+        outcome = migrate(state, player, l_max, frng,
+                          transient_refusal=transient,
+                          candidate_start=(hints.get(player, 0)
+                                           if hints else 0))
+        retries = max(0, outcome.attempts - 1)
+        summary.retries += retries
+        if retries:
+            registry.counter("repro_fault_retries_total").inc(retries)
+        ttr = detection + outcome.latency_ms
+        queued = False
+        if outcome.supernode_id is not None:
+            new_row = loads.row(outcome.supernode_id)
+            if new_row is not None:
+                counts[new_row, span] += 1
+                rates[new_row, span] += game.stream_rate_mbps
+            new_sn = state.supernode_pool[outcome.supernode_id]
+            session.supernode_id = outcome.supernode_id
+            session.downstream_one_way_ms = \
+                player_supernode_ms(state, player, new_sn)
+            summary.recovered += 1
+            summary.time_to_recover_ms.append(ttr)
+            if measuring:
+                result.migration_latencies_ms.append(ttr)
+            registry.counter("repro_fault_recovered_total").inc()
+            registry.counter("repro_migrations_total").inc()
+            registry.histogram("repro_migration_latency_ms").observe(
+                ttr)
+            registry.histogram(
+                "repro_time_to_recover_ms",
+                buckets=DEFAULT_RECOVERY_BUCKETS_MS).observe(ttr)
+            event_log.emit("migration", day=day, subcycle=subcycle,
+                           player=player,
+                           from_supernode=sn.supernode_id,
+                           to_supernode=outcome.supernode_id,
+                           retries=retries, ttr_ms=ttr)
+        elif partitioned:
+            # The cloud fallback is the severed link: park the
+            # session until the partition window closes.  Its
+            # resolution (degraded or shed) is deferred.
+            session.kind = ConnectionKind.CLOUD
+            session.supernode_id = None
+            session.downstream_one_way_ms = \
+                session.upstream_one_way_ms
+            rate = game.stream_rate_mbps
+            if state.compression is not None:
+                rate = state.compression.compressed_mbps(rate)
+            injector.queued.append((player, rate, end, subcycle))
+            queued = True
+            registry.counter("repro_fault_queued_total").inc()
+            event_log.emit("session_queued", day=day,
+                           subcycle=subcycle, player=player,
+                           from_supernode=sn.supernode_id,
+                           retries=retries)
+        else:
+            # Graceful degradation: the cloud streams directly
+            # for the rest of the session.
+            session.kind = ConnectionKind.CLOUD
+            session.supernode_id = None
+            session.downstream_one_way_ms = \
+                session.upstream_one_way_ms
+            rate = game.stream_rate_mbps
+            if state.compression is not None:
+                rate = state.compression.compressed_mbps(rate)
+            cloud_rate[span] += rate
+            summary.degraded += 1
+            registry.counter("repro_fault_degraded_total").inc()
+            event_log.emit("cloud_fallback", day=day,
+                           subcycle=subcycle, player=player,
+                           from_supernode=sn.supernode_id,
+                           retries=retries, ttr_ms=ttr)
+        if queued or graceful:
+            # Queue wait is charged at drain time; a graceful
+            # drain had the warning window to hand over cleanly.
+            continue
+        # The stream stalled for detection + reconnect: charge
+        # the gap against the session's remaining play time.
+        remaining_ms = max(1.0,
+                           (end - subcycle + 1) * 3_600_000.0)
+        state.faults.add_penalty(player, ttr / remaining_ms)
+
+
+def _batch_candidate_hints(state: SimState, ordered) -> dict[int, int]:
+    """Pre-evaluate every orphan's candidate list in one batch.
+
+    Batch-assignment mode only.  Gathers each remembered candidate's
+    availability byte and delay threshold against *one* snapshot taken
+    at event start and computes, per orphan, the index of the first
+    entry that could possibly accept it — the ``candidate_start`` its
+    :func:`~repro.core.lifecycle.migrate` walk then begins at.  During
+    one event availability only shrinks (re-homes consume slots), so a
+    snapshot-dead prefix stays dead — except a slot freed by a
+    transient handshake refusal mid-event, which this mode's pins
+    accept as part of its documented semantics delta (DESIGN.md §15).
+    Players holding a stale (out-of-pool) id get no hint: the scalar
+    walk owns the invalidation side effect.
+    """
+    cols = state.supernode_columns
+    if cols is None:
+        return {}
+    avail = np.frombuffer(cols.available, dtype=np.uint8)
+    pool_size = len(state.supernode_pool)
+    get_candidates = state.candidates.candidates
+    games = state.games
+    hints: dict[int, int] = {}
+    flat_sid: list[int] = []
+    flat_delay: list[float] = []
+    flat_lmax: list[float] = []
+    spans: list[tuple[int, int, int]] = []  # (player, offset, length)
+    offset = 0
+    for _sn, player in ordered:
+        game = games.get(player)
+        if game is None:
+            continue
+        entries = get_candidates(player)
+        if not entries:
+            continue
+        if any(e.supernode_id >= pool_size for e in entries):
+            continue
+        l_max = delay_threshold_ms(game.latency_requirement_ms)
+        for e in entries:
+            flat_sid.append(e.supernode_id)
+            flat_delay.append(e.delay_ms)
+            flat_lmax.append(l_max)
+        spans.append((player, offset, len(entries)))
+        offset += len(entries)
+    if not spans:
+        return hints
+    sid = np.array(flat_sid, dtype=np.int64)
+    viable = ((avail[sid] == 1)
+              & (np.array(flat_delay) <= np.array(flat_lmax)))
+    for player, start, length in spans:
+        first = int(np.argmax(viable[start:start + length]))
+        if not viable[start + first]:
+            first = length  # nothing viable: skip straight to selection
+        if first:
+            hints[player] = first
+    return hints
 
 
 def _fail_domain(state: SimState, targets, event, day, subcycle, sessions,
@@ -326,20 +389,40 @@ def inject_dc_outage(state: SimState, event, day, subcycle, sessions,
     all_ms[:, dc] = np.inf
     fallback_ms = np.min(all_ms, axis=1)
     rerouted = 0
-    for player, session in sessions.items():
-        if session.kind is not ConnectionKind.CLOUD:
-            continue
-        if int(nearest[player]) != dc:
-            continue
-        start, end = session_window(session, hours)
-        if not start <= subcycle <= end:
-            continue
-        delta = float(fallback_ms[player]) - session.upstream_one_way_ms
-        if delta <= 0.0:
-            continue
-        session.upstream_one_way_ms += delta
-        session.downstream_one_way_ms += delta
-        rerouted += 1
+    cols = getattr(sessions, "columns", None)
+    if cols is not None:
+        # Column mask over the session table: same set of sessions the
+        # scalar walk selected (active ≡ in the dict; the kind code and
+        # window columns mirror the object fields), and the per-session
+        # ``+=`` is order-independent, so the digests cannot move.
+        mask = ((cols.active == 1) & (cols.kind == KIND_CLOUD)
+                & (nearest == dc) & (cols.start_subcycle <= subcycle)
+                & (cols.end_subcycle >= subcycle))
+        for player in np.flatnonzero(mask).tolist():
+            session = sessions[player]
+            delta = (float(fallback_ms[player])
+                     - session.upstream_one_way_ms)
+            if delta <= 0.0:
+                continue
+            session.upstream_one_way_ms += delta
+            session.downstream_one_way_ms += delta
+            rerouted += 1
+    else:
+        for player, session in sessions.items():
+            if session.kind is not ConnectionKind.CLOUD:
+                continue
+            if int(nearest[player]) != dc:
+                continue
+            start, end = session_window(session, hours)
+            if not start <= subcycle <= end:
+                continue
+            delta = (float(fallback_ms[player])
+                     - session.upstream_one_way_ms)
+            if delta <= 0.0:
+                continue
+            session.upstream_one_way_ms += delta
+            session.downstream_one_way_ms += delta
+            rerouted += 1
     if rerouted:
         obs.get_registry().counter(
             "repro_cloud_sessions_rerouted_total").inc(rerouted)
@@ -522,6 +605,18 @@ def inject_link_degradation(state: SimState, event: FaultEvent, subcycle,
     """
     if event.extra_ms <= 0.0:
         return
+    cols = getattr(sessions, "columns", None)
+    if cols is not None:
+        mask = ((cols.active == 1) & (cols.start_subcycle <= subcycle)
+                & (cols.end_subcycle >= subcycle))
+        if event.supernode_id is not None:
+            mask &= cols.supernode_id == event.supernode_id
+        # Each selected session gets one independent += through the
+        # entity setter (which re-mirrors the column): same sessions,
+        # same floats as the scalar walk.
+        for player in np.flatnonzero(mask).tolist():
+            sessions[player].downstream_one_way_ms += event.extra_ms
+        return
     for player, session in sessions.items():
         start, end = session_window(session, hours)
         if not start <= subcycle <= end:
@@ -545,16 +640,35 @@ def inject_update_loss(state: SimState, event: FaultEvent, subcycle,
     """
     window_end = min(hours, subcycle + event.duration_subcycles - 1)
     affected = 0
-    for player, session in sessions.items():
-        if session.supernode_id is None:
-            continue
-        start, end = session_window(session, hours)
-        overlap = min(end, window_end) - max(start, subcycle) + 1
-        if overlap <= 0:
-            continue
-        span_len = end - start + 1
-        state.faults.add_penalty(
-            player, event.severity * overlap / span_len)
-        affected += 1
+    cols = getattr(sessions, "columns", None)
+    if cols is not None:
+        start = cols.start_subcycle
+        end = cols.end_subcycle
+        overlap = (np.minimum(end, window_end)
+                   - np.maximum(start, subcycle) + 1)
+        mask = ((cols.active == 1) & (cols.supernode_id >= 0)
+                & (overlap > 0))
+        players = np.flatnonzero(mask)
+        # severity * overlap / span_len in the scalar walk's operand
+        # order, then back to Python floats before the penalty map —
+        # bit-identical values, no numpy scalars past this point.
+        penalties = (event.severity * overlap[players]
+                     / (end[players] - start[players] + 1))
+        add_penalty = state.faults.add_penalty
+        for player, penalty in zip(players.tolist(), penalties.tolist()):
+            add_penalty(player, penalty)
+        affected = int(players.size)
+    else:
+        for player, session in sessions.items():
+            if session.supernode_id is None:
+                continue
+            start, end = session_window(session, hours)
+            overlap = min(end, window_end) - max(start, subcycle) + 1
+            if overlap <= 0:
+                continue
+            span_len = end - start + 1
+            state.faults.add_penalty(
+                player, event.severity * overlap / span_len)
+            affected += 1
     registry.counter(
         "repro_update_loss_affected_sessions_total").inc(affected)

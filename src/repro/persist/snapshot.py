@@ -24,10 +24,17 @@ Bit-identical resume rests on two audited facts (DESIGN.md §11):
    non-None at day boundaries once the model is ready), fault
    penalties/accounting, the workload knobs
    (``daily_participants``/``weekly_weights``/start-time/duration
-   models), and the accumulated :class:`~repro.core.accounting.
-   RunResult`.
+   models), the execution-mode toggles (``use_batch_scoring``,
+   ``use_batch_assignment`` — a resumed run must score and assign in
+   the mode the original run pinned), and the accumulated
+   :class:`~repro.core.accounting.RunResult`.
 
    Deliberately *not* captured, with reasons:
+
+   * per-day session state — the :class:`~repro.core.state.
+     SessionTable` and its :class:`~repro.core.columns.SessionColumns`
+     mirror live inside one ``sweep_day`` call and never cross a day
+     boundary (§4.1: cycles do not wrap);
 
    * population/topology/transport/datacenter structure/CDN sites —
      rebuilt deterministically from the serialized ``SystemConfig``;
@@ -142,6 +149,7 @@ def capture_state(state: SimState) -> dict:
         "seed": state.rng_factory.seed,
         "current_day": state.current_day,
         "use_batch_scoring": state.use_batch_scoring,
+        "use_batch_assignment": state.use_batch_assignment,
         "pool_size": len(state.supernode_pool),
         "supernodes": [
             {"id": sn.supernode_id, "online": sn.online,
@@ -231,6 +239,10 @@ def overlay_state(state: SimState, payload: dict) -> SimState:
     state.rng_factory = RngFactory(payload["seed"])
     state.current_day = payload["current_day"]
     state.use_batch_scoring = payload["use_batch_scoring"]
+    # Default False for pre-batch-assignment checkpoints: the flag did
+    # not exist when they were written and False is replay-exact mode.
+    state.use_batch_assignment = payload.get("use_batch_assignment",
+                                             False)
 
     # Live set first (deploy resets online flags and rebuilds the
     # directory), then the per-node mutable fields on top.

@@ -1,0 +1,109 @@
+"""Golden pins and invariants for the ``use_batch_assignment`` mode.
+
+``SimState.use_batch_assignment`` (default ``False``) switches
+``stage_arrivals`` from the per-join scalar loop onto
+:func:`repro.core.lifecycle.join_cohort`, which scores and assigns a
+whole arrival cohort against one availability snapshot (DESIGN.md §15).
+The mode is *intentionally not* bit-identical to replay-exact — the
+snapshot is taken once per cohort instead of once per join — so it
+carries its own golden pins here, regenerated alongside the
+replay-exact block by::
+
+    PYTHONPATH=src python -m tests.faults.regen_golden
+
+What must hold regardless of mode:
+
+* determinism — same seed, same bits, every run;
+* shard invariance — 1, 2 or 4 shards merge to identical output;
+* the fault ledger — injected events and their bookkeeping don't
+  depend on how joins were assigned (same chaos plan, same summary);
+* checkpoint round-trip — the flag is captured in snapshots so a
+  resumed run assigns in the mode the original pinned.
+"""
+
+from repro.core import CloudFogSystem
+from repro.core.config import cloudfog_advanced
+from repro.core.shard import run_sharded
+from repro.core.state import SimState
+from repro.persist.snapshot import capture_state, overlay_state
+from repro.sim.cycles import Schedule
+
+from ..faults.regen_golden import CHAOS_SCENARIOS, SCENARIOS
+from ..faults.test_equivalence import GOLDEN as GOLDEN_REPLAY
+from ..helpers.golden import fault_summary_digest, run_result_digest
+
+GOLDEN_BATCH = {
+    "cloudfog_basic":
+        "d1286f4e1b5ce852e10e9f8bd4c393b361fce52a403f3e29864d0d18ac83b9bc",
+    "cloudfog_advanced":
+        "ec66b1e71277207fc9ff45786a0e99ff355bdbc95636620bbcfdfdec82da4fa6",
+    "chaos_advanced":
+        "75c9ea30fe64e18698a488ee12cfcc5e33067f5e92dc8c2dd1f465e03b99f568",
+    "chaos_advanced_faults":
+        "8f68ec3b5f6a32f54844857ca5d7c4a9c8e52017381b5a89d77d2b44f003cbf2",
+}
+
+#: Sharded batch-mode pin: the BASELINE config from
+#: ``tests/persist/test_shard_determinism`` run with
+#: ``use_batch_assignment=True`` — identical for every shard count.
+GOLDEN_BATCH_SHARDED = (
+    "6832821a4e6b1c353c55af5b3f6fb1b47300cc2b5b6f0d35718ad62b9e9fc992")
+
+
+def _run_batch(config):
+    system = CloudFogSystem(config)
+    system.state.use_batch_assignment = True
+    return system.run(days=2)
+
+
+def test_batch_mode_pins_are_bit_stable():
+    for name, config in SCENARIOS.items():
+        assert run_result_digest(_run_batch(config)) == GOLDEN_BATCH[name]
+
+
+def test_batch_mode_chaos_pin_and_fault_ledger():
+    result = _run_batch(CHAOS_SCENARIOS["chaos_advanced"])
+    assert run_result_digest(result) == GOLDEN_BATCH["chaos_advanced"]
+    # The fault *ledger* digest matches replay-exact: which events fire
+    # and what they count is independent of join-assignment mode.
+    assert (fault_summary_digest(result.faults)
+            == GOLDEN_BATCH["chaos_advanced_faults"]
+            == GOLDEN_REPLAY["chaos_advanced_faults"])
+
+
+def test_batch_mode_diverges_from_replay_exact_by_design():
+    """The cohort-level availability snapshot is a documented semantic
+    delta — if the batch pins ever collapse onto the replay pins the
+    toggle has silently stopped doing anything."""
+    diverged = {name for name in ("cloudfog_basic", "cloudfog_advanced",
+                                  "chaos_advanced")
+                if GOLDEN_BATCH[name] != GOLDEN_REPLAY[name]}
+    assert diverged, "batch mode produced replay-exact bits everywhere"
+
+
+def test_batch_mode_shard_invariant():
+    config = cloudfog_advanced(
+        num_players=600, num_datacenters=3, num_supernodes=36, seed=7,
+        schedule=Schedule(days=2, warmup_days=1))
+    digests = {
+        run_result_digest(run_sharded(config, shards=shards,
+                                      use_batch_assignment=True))
+        for shards in (1, 2, 4)}
+    assert digests == {GOLDEN_BATCH_SHARDED}
+
+
+def test_snapshot_round_trips_the_flag():
+    config = SCENARIOS["cloudfog_basic"]
+    state = SimState(config)
+    state.use_batch_assignment = True
+    payload = capture_state(state)
+    assert payload["use_batch_assignment"] is True
+
+    restored = overlay_state(SimState(config), payload)
+    assert restored.use_batch_assignment is True
+
+    # Old checkpoints written before the flag existed restore to the
+    # replay-exact default.
+    payload.pop("use_batch_assignment")
+    restored = overlay_state(SimState(config), payload)
+    assert restored.use_batch_assignment is False

@@ -4,7 +4,9 @@ Run from the repo root::
 
     PYTHONPATH=src python -m tests.faults.regen_golden
 
-and paste the printed values into ``tests/faults/test_equivalence.py``.
+and paste the printed values into ``tests/faults/test_equivalence.py``
+(the replay-exact block) and ``tests/core/test_batch_assignment.py``
+(the ``use_batch_assignment`` block, printed second).
 """
 
 from __future__ import annotations
@@ -43,17 +45,25 @@ CHAOS_SCENARIOS = {
 }
 
 
-def compute() -> dict[str, str]:
-    digests = {
-        name: run_result_digest(CloudFogSystem(config).run(days=2))
-        for name, config in SCENARIOS.items()}
+def compute(*, use_batch_assignment: bool = False) -> dict[str, str]:
+    def _run(config):
+        system = CloudFogSystem(config)
+        system.state.use_batch_assignment = use_batch_assignment
+        return system.run(days=2)
+
+    digests = {name: run_result_digest(_run(config))
+               for name, config in SCENARIOS.items()}
     for name, config in CHAOS_SCENARIOS.items():
-        result = CloudFogSystem(config).run(days=2)
+        result = _run(config)
         digests[name] = run_result_digest(result)
         digests[name + "_faults"] = fault_summary_digest(result.faults)
     return digests
 
 
 if __name__ == "__main__":
+    print("# replay-exact (tests/faults/test_equivalence.py)")
     for name, digest in compute().items():
+        print(f'    "{name}": "{digest}",')
+    print("# use_batch_assignment (tests/core/test_batch_assignment.py)")
+    for name, digest in compute(use_batch_assignment=True).items():
         print(f'    "{name}": "{digest}",')
