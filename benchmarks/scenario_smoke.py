@@ -1,0 +1,106 @@
+"""Scenario smoke: validate + run every scenario document, gated.
+
+The CI ``scenario-smoke`` job runs this script and fails unless
+
+1. every example scenario document under ``examples/`` (``.json`` and
+   ``.toml``) parses, round-trips exactly through ``to_dict`` and
+   compiles to a runnable config;
+2. every built-in of the scenario library runs end to end and its JSON
+   report carries measured days, sessions and an SLO verdict; and
+3. the whole sweep stays inside the wall budget.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/scenario_smoke.py
+    PYTHONPATH=src python benchmarks/scenario_smoke.py --budget 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.scenarios import BUILTIN_SCENARIOS, Scenario, load_scenario
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.run import run_scenario
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def check_examples() -> list[str]:
+    """Phase 1: every example document parses, round-trips, compiles."""
+    failures = []
+    paths = sorted(EXAMPLES.glob("*.toml"))
+    # Only scenario JSON documents (a "version"+"name" object) count:
+    # examples/ also holds bare fault plans consumed via faults.ref.
+    for path in sorted(EXAMPLES.glob("*.json")):
+        payload = json.loads(path.read_text())
+        if isinstance(payload, dict) and "name" in payload \
+                and "version" in payload:
+            paths.append(path)
+    if not paths:
+        return ["no example scenario documents found under examples/"]
+    for path in paths:
+        try:
+            scenario = load_scenario(path)
+            if Scenario.from_dict(scenario.to_dict()) != scenario:
+                failures.append(f"{path.name}: to_dict round trip drifted")
+            compile_scenario(scenario, base_dir=path.parent)
+        except ValueError as exc:
+            failures.append(f"{path.name}: {exc}")
+            continue
+        print(f"example {path.name}: ok ({scenario.name})")
+    return failures
+
+
+def check_builtins(seed: int | None) -> list[str]:
+    """Phase 2: every built-in runs end to end with a usable report."""
+    failures = []
+    for name, scenario in BUILTIN_SCENARIOS.items():
+        t0 = time.perf_counter()
+        report = run_scenario(scenario, seed=seed)
+        wall = time.perf_counter() - t0
+        results = report["results"]
+        print(f"builtin {name}: {wall:.1f}s  measured="
+              f"{report['measured_days']}  sessions="
+              f"{results['sessions'] if results else 0}  slo_ok="
+              f"{report['slo']['ok']}")
+        if report["measured_days"] <= 0:
+            failures.append(f"{name}: no measured days")
+        if not results or results["sessions"] <= 0:
+            failures.append(f"{name}: produced no sessions")
+        try:
+            json.dumps(report)
+        except (TypeError, ValueError):
+            failures.append(f"{name}: report is not JSON-serialisable")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=None,
+                        help="override every scenario's seed")
+    parser.add_argument("--budget", type=float, default=120.0,
+                        help="wall-time budget in seconds (default 120)")
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    failures = check_examples()
+    failures += check_builtins(args.seed)
+    wall = time.perf_counter() - t0
+    print(f"wall: {wall:.1f}s (budget {args.budget:.0f}s)")
+    if wall > args.budget:
+        failures.append(
+            f"scenario smoke took {wall:.1f}s (budget {args.budget:.0f}s)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("scenario smoke OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,16 @@ Observability (see :mod:`repro.obs` and README "Monitoring a run")::
         --obs-dir rundir --serve 9099    # scrape localhost:9099/metrics
     python -m repro report rundir        # SLO verdicts + fault timeline
 
+Scenario DSL (see :mod:`repro.scenarios` and README "Scenario
+library")::
+
+    python -m repro scenario list        # show the built-in scenarios
+    python -m repro scenario validate examples/esports_final.toml
+    python -m repro scenario run esports-final --obs-dir rundir
+
+``scenario run`` compiles a declarative JSON/TOML document (or a
+built-in by name) into a full system run and prints its JSON report.
+
 ``--trace`` writes finished spans as JSON lines, ``--metrics`` writes a
 Prometheus text exposition (``.json`` suffix switches to the JSON dump),
 ``--profile`` prints a per-phase wall-clock table, and ``--log-level``
@@ -88,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce a figure of the CloudFog paper.")
     parser.add_argument("figure",
                         help="figure name (e.g. fig4a), 'run', "
-                             "'report' or 'list'")
+                             "'report', 'scenario' or 'list'")
     parser.add_argument("target", nargs="?", default=None,
                         help="run directory ('report' command only)")
     parser.add_argument("--seed", type=int, default=0,
@@ -159,6 +169,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # The scenario subcommand has its own argument grammar; hand it the
+    # remaining argv before the figure parser can reject it.
+    if argv and argv[0] == "scenario":
+        from .scenarios.run import scenario_main
+        return scenario_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.figure == "list":
         for name, (func, _, _, _, _) in sorted(FIGURES.items()):
@@ -168,6 +185,8 @@ def main(argv: list[str] | None = None) -> int:
               f"checkpoint/resume (--checkpoint-dir, --resume-from).")
         print(f"{'report':<8} Render a run directory (--obs-dir) as a "
               f"markdown + JSON report.")
+        print(f"{'scenario':<8} List, validate or run declarative "
+              f"scenarios (scenario list|validate|run).")
         return 0
     if args.figure == "report":
         return _report_command(args)

@@ -328,10 +328,13 @@ def _test_hang_hook(index: int):
 def _run_partition(partition: ShardPartition, days: int | None,
                    checkpoint_dir, checkpoint_every: int,
                    extra_hook=None,
-                   use_batch_assignment: bool = False) -> RunResult:
+                   use_batch_assignment: bool = False,
+                   configure=None) -> RunResult:
     """Run one partition's full schedule in the current process."""
     state = SimState(partition.config, population=partition.population)
     state.use_batch_assignment = use_batch_assignment
+    if configure is not None:
+        configure(state)
     hook = None
     if checkpoint_dir is not None:
         hook = Checkpointer(_shard_dir(checkpoint_dir, partition.index),
@@ -343,14 +346,18 @@ def _run_partition(partition: ShardPartition, days: int | None,
 def _resume_partition(partition: ShardPartition, days: int | None,
                       checkpoint_dir, checkpoint_every: int,
                       extra_hook=None,
-                      use_batch_assignment: bool = False) -> RunResult:
+                      use_batch_assignment: bool = False,
+                      configure=None) -> RunResult:
     """Resume one partition from its newest digest-valid checkpoint.
 
     A corrupt latest checkpoint falls back to the previous day's
     snapshot (:func:`repro.persist.checkpoint.latest_valid_checkpoint`);
     with nothing valid on disk the partition simply runs from scratch —
     bit-identical either way, because resume replays the exact
-    day-scoped RNG schedule.
+    day-scoped RNG schedule.  ``configure`` (set-once scenario state)
+    is re-applied to the rebuilt state *before* the snapshot overlay,
+    so a resumed partition carries the same overrides the original run
+    started with.
     """
     directory = _shard_dir(checkpoint_dir, partition.index) \
         if checkpoint_dir is not None else None
@@ -359,16 +366,18 @@ def _resume_partition(partition: ShardPartition, days: int | None,
     if found is None:
         return _run_partition(partition, days, checkpoint_dir,
                               checkpoint_every, extra_hook,
-                              use_batch_assignment=use_batch_assignment)
+                              use_batch_assignment=use_batch_assignment,
+                              configure=configure)
     path, payload = found
     if payload["state"]["config"]["num_players"] != \
             partition.config.num_players:
         raise ValueError(
             f"checkpoint {path} does not match partition "
             f"{partition.index} of this config")
-    state = overlay_state(
-        SimState(partition.config, population=partition.population),
-        payload["state"])
+    fresh = SimState(partition.config, population=partition.population)
+    if configure is not None:
+        configure(fresh)
+    state = overlay_state(fresh, payload["state"])
     result = restore_result(payload["result"])
     total = payload["run"]["total_days"] if days is None else days
     hook = Checkpointer(directory, every=checkpoint_every).on_day_end
@@ -387,17 +396,19 @@ def _partition_worker(args) -> RunResult:
     its newest valid checkpoint instead of starting over.
     """
     (config, index, days, checkpoint_dir, checkpoint_every, resume,
-     use_batch_assignment) = args
+     use_batch_assignment, configure) = args
     partition = build_partitions(config)[index]
     extra_hook = _compose_hooks(_test_kill_hook(index),
                                 _test_hang_hook(index))
     if resume:
         return _resume_partition(
             partition, days, checkpoint_dir, checkpoint_every, extra_hook,
-            use_batch_assignment=use_batch_assignment)
+            use_batch_assignment=use_batch_assignment,
+            configure=configure)
     return _run_partition(partition, days, checkpoint_dir,
                           checkpoint_every, extra_hook,
-                          use_batch_assignment=use_batch_assignment)
+                          use_batch_assignment=use_batch_assignment,
+                          configure=configure)
 
 
 def _checkpoint_signature(checkpoint_dir, indexes) -> frozenset | None:
@@ -417,8 +428,8 @@ def _checkpoint_signature(checkpoint_dir, indexes) -> frozenset | None:
 def _run_supervised(config: SystemConfig, partitions, days,
                     checkpoint_dir, checkpoint_every, workers: int,
                     max_restarts: int, heartbeat_timeout_s: float | None,
-                    use_batch_assignment: bool = False
-                    ) -> dict[int, RunResult]:
+                    use_batch_assignment: bool = False,
+                    configure=None) -> dict[int, RunResult]:
     """The self-healing supervisor loop over a worker pool.
 
     Submits every unfinished partition to a fresh pool, collects
@@ -438,7 +449,7 @@ def _run_supervised(config: SystemConfig, partitions, days,
             futures = {pool.submit(
                 _partition_worker,
                 (config, index, days, checkpoint_dir, checkpoint_every,
-                 resume[index], use_batch_assignment)): index
+                 resume[index], use_batch_assignment, configure)): index
                 for index in sorted(pending)}
             broken = False
             last_progress = _checkpoint_signature(checkpoint_dir, pending)
@@ -491,7 +502,8 @@ def run_sharded(config: SystemConfig, days: int | None = None, *,
                 shards: int = 1, checkpoint_dir=None,
                 checkpoint_every: int = 1, max_restarts: int = 2,
                 heartbeat_timeout_s: float | None = None,
-                use_batch_assignment: bool = False) -> RunResult:
+                use_batch_assignment: bool = False,
+                configure=None) -> RunResult:
     """Run a config as per-region partitions and merge the results.
 
     ``shards`` is pure worker parallelism: 1 executes the partitions
@@ -510,6 +522,11 @@ def run_sharded(config: SystemConfig, days: int | None = None, *,
     every partition (DESIGN.md §15) — a mode toggle like
     ``use_batch_scoring``, carried into checkpoints, with its own
     golden pins.
+
+    ``configure`` is an optional callable applied to every partition's
+    freshly built :class:`SimState` (the scenario seam).  It must be
+    picklable when ``shards > 1`` — worker processes rebuild partitions
+    locally and re-apply it.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -519,14 +536,16 @@ def run_sharded(config: SystemConfig, days: int | None = None, *,
     workers = min(shards, len(partitions), os.cpu_count() or 1)
     if workers <= 1:
         parts = [_run_partition(p, days, checkpoint_dir, checkpoint_every,
-                                use_batch_assignment=use_batch_assignment)
+                                use_batch_assignment=use_batch_assignment,
+                                configure=configure)
                  for p in partitions]
     else:
         results = _run_supervised(config, partitions, days,
                                   checkpoint_dir, checkpoint_every,
                                   workers, max_restarts,
                                   heartbeat_timeout_s,
-                                  use_batch_assignment=use_batch_assignment)
+                                  use_batch_assignment=use_batch_assignment,
+                                  configure=configure)
         parts = [results[p.index] for p in partitions]
     return merge_results(parts, partitions)
 
@@ -534,7 +553,8 @@ def run_sharded(config: SystemConfig, days: int | None = None, *,
 def resume_sharded(config: SystemConfig, checkpoint_dir, *,
                    days: int | None = None, shards: int = 1,
                    checkpoint_every: int = 1,
-                   use_batch_assignment: bool = False) -> RunResult:
+                   use_batch_assignment: bool = False,
+                   configure=None) -> RunResult:
     """Resume a sharded run from its per-partition checkpoints.
 
     Partitions are rebuilt deterministically from the parent config;
@@ -548,6 +568,6 @@ def resume_sharded(config: SystemConfig, checkpoint_dir, *,
     partitions = build_partitions(config)
     parts = [_resume_partition(
         partition, days, checkpoint_dir, checkpoint_every,
-        use_batch_assignment=use_batch_assignment)
+        use_batch_assignment=use_batch_assignment, configure=configure)
              for partition in partitions]
     return merge_results(parts, partitions)

@@ -348,6 +348,21 @@ class SimState:
         self.daily_participants: int | None = None
         self.server_latency_cache: dict[int, float] = {}
 
+        # Scenario seam (repro.scenarios): set-once overrides installed
+        # by a scenario's ``configure`` hook before the run starts.
+        # The null defaults leave every baseline sweep bit-identical.
+        #: Extra sweep stages, run by ``stage_scenario`` each subcycle.
+        self.scenario_stages: tuple = ()
+        #: Per-game sampling weights ``{game name: weight}`` (None =
+        #: the default social/permutation draw).
+        self.game_weights: dict[str, float] | None = None
+        #: Per-region start-subcycle shifts (timezone profiles), one
+        #: entry per datacenter region, cycled when shorter.
+        self.start_offsets: tuple | None = None
+        #: Quality-ladder ceiling: sessions never stream above this
+        #: ladder level (bandwidth-constrained thin clients).
+        self.quality_ceiling: int | None = None
+
 
 # ----------------------------------------------------------------------
 # infrastructure construction

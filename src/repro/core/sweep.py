@@ -7,7 +7,9 @@ The top of the core layering.  One day runs as the §4.1 cycle:
 3. day plans + social game choice;
 4. the subcycle sweep — per subcycle the explicit stage tuple
    :data:`SUBCYCLE_STAGES` runs in order: departures → fault
-   injection (which walks migration/retry ladders) → arrivals/joins;
+   injection (which walks migration/retry ladders) → scenario hooks
+   (flash crowds and other ``repro.scenarios`` stages, a no-op by
+   default) → arrivals/joins;
 5. session scoring (``core.scoring``) and ratings;
 6. accounting (``core.accounting``): credits, day metrics, Eq.-2
    bandwidth.
@@ -23,13 +25,14 @@ never ``core.system`` or ``experiments`` (``tools/check_layering.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from .. import obs
 from ..faults import handlers
 from ..workload.churn import PlayerDayPlan, sample_day_plans
+from ..workload.games import GAME_CATALOGUE, game_for_level
 from ..workload.population import choose_game
 from .accounting import (RunResult, SweepLoads, cloud_bandwidth,
                          credit_contributors, summarize_day)
@@ -40,7 +43,8 @@ from .server_assignment import assign_players_randomly, assign_players_socially
 from .state import SessionTable, SimState, deploy
 
 __all__ = ["SweepContext", "SUBCYCLE_STAGES", "stage_departures",
-           "stage_faults", "stage_arrivals", "sample_plans",
+           "stage_faults", "stage_scenario", "stage_arrivals",
+           "sample_plans",
            "choose_games", "sweep_day", "run_server_assignment",
            "run_provisioning", "day_end_flush", "run_day",
            "run_schedule"]
@@ -62,17 +66,54 @@ def sample_plans(state: SimState, rng: np.random.Generator,
         players = rng.choice(n, size=max(1, count), replace=False)
     else:
         players = np.arange(n)
-    return sample_day_plans(rng, players, state.duration_mixture,
-                            state.start_times)
+    plans = sample_day_plans(rng, players, state.duration_mixture,
+                             state.start_times)
+    offsets = state.start_offsets
+    if offsets:
+        # Timezone profiles (repro.scenarios): shift each player's
+        # start by its region's offset, wrapping inside the day.  The
+        # shift is applied after sampling, so the draw sequence — and
+        # with it every no-scenario baseline — is untouched.
+        hours = state.config.schedule.hours_per_day
+        nearest = state.nearest_dc
+        plans = [
+            plan if offset == 0 else
+            replace(plan, start_subcycle=(
+                (plan.start_subcycle - 1 + offset) % hours) + 1)
+            for plan in plans
+            for offset in (int(offsets[int(nearest[plan.player])
+                                       % len(offsets)]),)]
+    return plans
 
 
 def choose_games(state: SimState, plans: list[PlayerDayPlan],
                  rng: np.random.Generator) -> None:
     state.games.clear()
-    for index in rng.permutation(len(plans)):
-        plan = plans[int(index)]
-        state.games[plan.player] = choose_game(
-            plan.player, state.population.friends, state.games, rng)
+    weights = state.game_weights
+    if weights is not None:
+        # Scenario game mix: a weighted catalogue draw replaces the
+        # social rule wholesale (an esports final is not organic play).
+        catalogue = [game for game in GAME_CATALOGUE
+                     if weights.get(game.name, 0.0) > 0.0]
+        probs = np.array([weights[game.name] for game in catalogue])
+        probs = probs / probs.sum()
+        for index in rng.permutation(len(plans)):
+            plan = plans[int(index)]
+            state.games[plan.player] = catalogue[
+                int(rng.choice(len(catalogue), p=probs))]
+    else:
+        for index in rng.permutation(len(plans)):
+            plan = plans[int(index)]
+            state.games[plan.player] = choose_game(
+                plan.player, state.population.friends, state.games, rng)
+    cap = state.quality_ceiling
+    if cap is not None:
+        # Bandwidth-constrained thin clients: nothing streams above
+        # the ceiling level, whatever game the social rule picked.
+        substitute = game_for_level(cap)
+        for player, game in state.games.items():
+            if game.default_level > cap:
+                state.games[player] = substitute
 
 
 # ----------------------------------------------------------------------
@@ -270,10 +311,25 @@ def stage_arrivals(state: SimState, ctx: SweepContext) -> None:
         _commit_session(state, ctx, plan, session)
 
 
+def stage_scenario(state: SimState, ctx: SweepContext) -> None:
+    """Run the scenario-installed sweep hooks, in installation order.
+
+    Sits between fault injection and arrivals so a scenario stage (a
+    flash-crowd spike, say) can queue extra plans into ``ctx.starts``
+    and have them join *this* subcycle, against the post-fault
+    directory.  ``state.scenario_stages`` is empty by default, making
+    this a no-op for every baseline run; scenario hooks draw only from
+    their own dedicated RNG streams, so baselines stay bit-identical.
+    """
+    for hook in state.scenario_stages:
+        hook(state, ctx)
+
+
 #: The per-subcycle stage pipeline, in execution order.  Read
 #: dynamically by :func:`sweep_day` (module attribute lookup every
 #: call) so tests can monkeypatch it to assert ordering and handoff.
-SUBCYCLE_STAGES = (stage_departures, stage_faults, stage_arrivals)
+SUBCYCLE_STAGES = (stage_departures, stage_faults, stage_scenario,
+                   stage_arrivals)
 
 
 def sweep_day(state: SimState, plans, rng, result, measuring, day=0):

@@ -47,6 +47,17 @@ def variant_config(variant: str, testbed: Testbed, seed: int,
     kwargs.update(overrides)
     kwargs.setdefault("seed", seed)
     num_supernodes = kwargs.get("num_supernodes", 0)
+    if variant in ("CDN", "CDN-small") and num_supernodes <= 0:
+        # Silently falling back to max(2, 0 // 2) would build a 2-server
+        # CDN no matter the testbed — an unfair comparison that looks
+        # like a result.  Demand the budget anchor explicitly.
+        raise ValueError(
+            f"variant {variant!r} sizes its edge deployment from the "
+            f"CloudFog supernode budget (§4.1: half the sites for CDN, "
+            f"an eighth for CDN-small), but num_supernodes is "
+            f"{num_supernodes}; pass num_supernodes=<CloudFog budget> "
+            f"(testbed or override) so the CDN site count is derived, "
+            f"not defaulted")
     if variant == "Cloud":
         kwargs["num_supernodes"] = 0
         return cloud_only(**kwargs)
@@ -93,19 +104,24 @@ def run_variant(variant: str, testbed: Testbed, seed: int = 0,
 
 
 def run_config(config: SystemConfig, days: int, label: str = "custom",
-               checkpoint_dir=None, checkpoint_every: int = 1
-               ) -> RunResult:
+               checkpoint_dir=None, checkpoint_every: int = 1,
+               configure=None) -> RunResult:
     """Run an explicitly configured system under a ``run_variant`` span.
 
     The ablation figures (10-15) build bespoke :class:`SystemConfig`\\ s
     instead of named variants; routing them through this helper keeps
     every system run visible in traces under the same span name.
     ``checkpoint_dir``/``checkpoint_every`` behave as in
-    :func:`run_variant`.
+    :func:`run_variant`.  ``configure`` is an optional callable applied
+    to the freshly built :class:`~repro.core.state.SimState` before the
+    run starts — the seam scenarios use to install workload overrides
+    and sweep-stage hooks without touching :class:`SystemConfig`.
     """
     if days <= 0:
         raise ValueError("days must be positive")
     system = CloudFogSystem(config)
+    if configure is not None:
+        configure(system.state)
     hook = _checkpointer(checkpoint_dir, checkpoint_every)
     with obs.get_tracer().span("run_variant", variant=label,
                                seed=config.seed, days=days,
@@ -118,13 +134,16 @@ def run_config(config: SystemConfig, days: int, label: str = "custom",
 def run_sharded_config(config: SystemConfig, days: int, *,
                        shards: int = 1, label: str = "sharded",
                        checkpoint_dir=None, checkpoint_every: int = 1,
-                       use_batch_assignment: bool = False) -> RunResult:
+                       use_batch_assignment: bool = False,
+                       configure=None) -> RunResult:
     """Run a config as geographically sharded partitions and merge.
 
     Thin tracing wrapper over :func:`repro.core.shard.run_sharded`:
     fixed per-region partitions, ``shards`` worker processes, ordered
     deterministic merge — the merged result is identical for every
-    ``shards`` value (pinned by ``tests/persist``).
+    ``shards`` value (pinned by ``tests/persist``).  ``configure``
+    (which must be picklable — worker processes re-apply it to every
+    partition state) behaves as in :func:`run_config`.
     """
     if days <= 0:
         raise ValueError("days must be positive")
@@ -134,7 +153,8 @@ def run_sharded_config(config: SystemConfig, days: int, *,
         return run_sharded(config, days, shards=shards,
                            checkpoint_dir=checkpoint_dir,
                            checkpoint_every=checkpoint_every,
-                           use_batch_assignment=use_batch_assignment)
+                           use_batch_assignment=use_batch_assignment,
+                           configure=configure)
 
 
 def resume_sharded_config(config: SystemConfig, checkpoint_dir, *,

@@ -237,6 +237,19 @@ class FaultPlan:
                     f"events[{i}] ({event.kind}, day {event.day}): "
                     f"subcycle {event.subcycle} is out of range for a "
                     f"{hours_per_day}-subcycle day")
+            window_end = event.subcycle + event.duration_subcycles - 1
+            if window_end > hours_per_day:
+                # Cycles do not wrap (§4.1): a window that overruns the
+                # day would be silently truncated mid-sweep, so demand
+                # the author states the in-day window explicitly.
+                raise ValueError(
+                    f"events[{i}] ({event.kind}, day {event.day}): "
+                    f"window [{event.subcycle}, {window_end}] "
+                    f"({event.duration_subcycles} subcycles) overruns "
+                    f"the {hours_per_day}-subcycle day; windows never "
+                    f"cross midnight — use duration_subcycles <= "
+                    f"{hours_per_day - event.subcycle + 1} to run to "
+                    f"the end of the day")
             if event.datacenter is not None \
                     and event.datacenter >= num_datacenters:
                 raise ValueError(

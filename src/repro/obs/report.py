@@ -194,7 +194,11 @@ def _region_breakdown(store: TimeSeriesStore | None) -> list[dict]:
         samples = store.samples(region=region)
         if not samples:
             continue
-        worst = max(samples, key=lambda s: s.p95_response_latency_ms)
+        # Days without sessions carry p95 = None ("no data"); rank them
+        # below every day that actually measured a latency.
+        worst = max(samples,
+                    key=lambda s: (s.p95_response_latency_ms is not None,
+                                   s.p95_response_latency_ms or 0.0))
         count = len(samples)
         rows.append({
             "region": region,
@@ -234,6 +238,8 @@ def _md_table(headers: list[str], rows: list[list]) -> list[str]:
 
 
 def _fmt(value) -> str:
+    if value is None:
+        return "—"  # "no data" sentinel (e.g. a day with no recoveries)
     if isinstance(value, float):
         return f"{value:.3f}".rstrip("0").rstrip(".")
     return str(value)

@@ -287,7 +287,13 @@ def _evaluate_objective(objective: SloObjective,
     report = ObjectiveReport(objective=objective)
     errors: list[float] = []
     for sample in samples:
-        value = float(getattr(sample, objective.metric))
+        raw = getattr(sample, objective.metric)
+        if raw is None:
+            # "No data" (e.g. recovery_p95_ms on a day without
+            # recoveries): the day gets no verdict and burns no error
+            # budget — it neither passes trivially nor violates.
+            continue
+        value = float(raw)
         ok = objective.compliant(value)
         errors.append(0.0 if ok else 1.0)
         burns = []

@@ -67,16 +67,18 @@ def _game_qos() -> tuple[dict, tuple[float, float]]:
     return _GAME_QOS_CACHE
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(values: Sequence[float], q: float) -> float | None:
     """Nearest-rank percentile (deterministic, no interpolation).
 
-    ``q`` in [0, 1]; returns 0.0 for an empty sequence so samples of
-    quiet days stay fully populated.
+    ``q`` in [0, 1]; returns ``None`` for an empty sequence — "no
+    data", which consumers (SLO evaluation, reports, gauges) must
+    treat as distinct from an actual 0.0.  A day with no recoveries
+    must never masquerade as a day of instant recoveries.
     """
     if not 0.0 <= q <= 1.0:
         raise ValueError(f"q must lie in [0, 1], got {q}")
     if not values:
-        return 0.0
+        return None
     ordered = sorted(values)
     rank = max(1, math.ceil(q * len(ordered)))
     return float(ordered[rank - 1])
@@ -92,9 +94,11 @@ class DaySample:
     supernode_sessions: int
     cloud_sessions: int
     joins: int
-    p50_response_latency_ms: float
-    p95_response_latency_ms: float
-    p99_response_latency_ms: float
+    #: Percentile fields are ``None`` when the day had no samples to
+    #: rank ("no data") — JSON null, skipped by gauges and SLOs.
+    p50_response_latency_ms: float | None
+    p95_response_latency_ms: float | None
+    p99_response_latency_ms: float | None
     mean_continuity: float
     satisfied_ratio: float
     mean_mos: float
@@ -108,7 +112,9 @@ class DaySample:
     faults_shed: int
     faults_drained: int
     joins_shed: int
-    recovery_p95_ms: float
+    #: ``None`` when the day saw no recoveries — a fault-free day must
+    #: stay distinguishable from one of instant (0 ms) recoveries.
+    recovery_p95_ms: float | None
 
     def as_dict(self) -> dict:
         return {f.name: getattr(self, f.name)
@@ -224,9 +230,11 @@ class TimeSeriesStore:
             return
         for sample in samples:
             for name in _GAUGE_FIELDS:
+                value = getattr(sample, name)
+                if value is None:
+                    continue  # no data: leave the gauge at its last value
                 registry.gauge(f"repro_day_{name}",
-                               region=sample.region).set(
-                    getattr(sample, name))
+                               region=sample.region).set(value)
 
     # -- query -----------------------------------------------------------
     def __len__(self) -> int:

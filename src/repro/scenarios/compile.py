@@ -1,0 +1,145 @@
+"""Compile a declarative :class:`~repro.scenarios.schema.Scenario` into
+runnable pieces: a :class:`~repro.core.config.SystemConfig`, the run
+length, and the :class:`~repro.scenarios.hooks.ScenarioConfigurator`
+carrying workload overrides plus sweep-stage hooks.
+
+The pipeline (DESIGN.md §16)::
+
+    Scenario --compile--> (SystemConfig, days, configure)
+                              |              |
+                         CloudFogSystem   configure(state)
+                              |              |
+                              +--- run_config / run_sharded_config ---+
+
+Everything scenario-specific rides either in the config (testbed,
+variant, faults, schedule, strategy flags) or in the configurator (the
+null-defaulted ``SimState`` seams + ``SUBCYCLE_STAGES`` hooks) — no new
+façade logic, per the standing layering constraint.
+
+Experiments-rank module: imports ``repro.experiments`` freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+from ..core.config import SystemConfig
+from ..experiments.runner import VARIANTS, variant_config
+from ..experiments.testbeds import Testbed, peersim, planetlab
+from ..faults.plan import load_fault_plan
+from ..sim.cycles import Schedule
+from .hooks import FlashCrowdStage, ScenarioConfigurator
+from .schema import SCENARIO_VARIANTS, Scenario
+
+__all__ = ["CompiledScenario", "compile_scenario"]
+
+assert set(SCENARIO_VARIANTS) == set(VARIANTS), \
+    "schema.SCENARIO_VARIANTS drifted from experiments.runner.VARIANTS"
+
+_TESTBEDS = {"peersim": peersim, "planetlab": planetlab}
+
+
+@dataclass(frozen=True)
+class CompiledScenario:
+    """Everything a runner needs to execute one scenario."""
+
+    scenario: Scenario
+    testbed: Testbed
+    config: SystemConfig
+    days: int
+    configure: ScenarioConfigurator
+
+    @property
+    def label(self) -> str:
+        return f"scenario-{self.scenario.name}"
+
+
+def _build_schedule(scenario: Scenario, hours_default: Schedule
+                    ) -> Schedule | None:
+    """The schedule override, or None to keep the variant's default.
+
+    An explicit ``schedule.days`` shrinks the warmup to fit (leaving at
+    least one measured day) unless ``warmup_days`` is stated too.
+    """
+    spec = scenario.schedule
+    if spec.days is None and spec.warmup_days is None:
+        return None
+    days = spec.days if spec.days is not None else hours_default.days
+    warmup = spec.warmup_days
+    if warmup is None:
+        warmup = min(hours_default.warmup_days, days - 1)
+    if warmup >= days:
+        raise ValueError(
+            f"schedule: warmup_days ({warmup}) must leave at least one "
+            f"measured day of {days}")
+    return replace(hours_default, days=days, warmup_days=warmup)
+
+
+def compile_scenario(scenario: Scenario,
+                     base_dir: str | Path | None = None,
+                     seed: int | None = None) -> CompiledScenario:
+    """Compile ``scenario`` into config + configurator.
+
+    ``base_dir`` resolves a ``faults = {"ref": ...}`` file reference
+    (defaults to the working directory); ``seed`` overrides the
+    scenario's own.  Raises ``ValueError`` with the offending section
+    named for anything that only becomes checkable against the concrete
+    testbed (fault targets out of range fail later, at system
+    construction, exactly like hand-built configs).
+    """
+    infra = scenario.infrastructure
+    testbed = _TESTBEDS[infra.testbed](infra.scale)
+    overrides = dict(infra.overrides)
+    population = scenario.population
+    if population.players is not None:
+        overrides["num_players"] = population.players
+
+    faults = scenario.faults
+    if scenario.faults_ref is not None:
+        ref = Path(scenario.faults_ref)
+        if not ref.is_absolute():
+            ref = Path(base_dir or ".") / ref
+        try:
+            faults = load_fault_plan(ref)
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"faults.ref: cannot load {ref}: {exc}") \
+                from None
+    if faults is not None:
+        overrides["fault_plan"] = faults
+
+    schedule = _build_schedule(scenario, Schedule())
+    if schedule is not None:
+        overrides["schedule"] = schedule
+
+    config = variant_config(infra.variant, testbed,
+                            seed if seed is not None else scenario.seed,
+                            **overrides)
+    adaptation = scenario.streaming.rate_adaptation
+    if adaptation is not None:
+        config = config.with_(strategies=replace(
+            config.strategies, rate_adaptation=adaptation))
+
+    workload = scenario.workload
+    stages = tuple(
+        FlashCrowdStage(day=crowd.day, subcycle=crowd.subcycle,
+                        players=crowd.players,
+                        duration_hours=crowd.duration_hours,
+                        game=crowd.game)
+        for crowd in workload.flash_crowds)
+    # NB: in sharded runs the configurator applies per partition, so a
+    # flash-crowd spike injects its player count into *each* region —
+    # fixed partitions keep that deterministic across shard counts.
+    configure = ScenarioConfigurator(
+        daily_participants=population.daily_participants,
+        weekly_weights=population.weekly_weights,
+        duration_shares=workload.duration_shares,
+        offpeak_share=population.offpeak_share,
+        game_weights=workload.game_weights,
+        start_offsets=population.start_offsets,
+        quality_ceiling=scenario.streaming.quality_ceiling,
+        downlink_cap_mbps=scenario.streaming.downlink_cap_mbps,
+        stages=stages)
+    return CompiledScenario(
+        scenario=scenario, testbed=testbed, config=config,
+        days=config.schedule.days, configure=configure)

@@ -1,0 +1,195 @@
+"""The built-in scenario library and registry.
+
+Five composed workloads, each exercising a different axis of the
+scenario schema, all sized to run end-to-end in seconds so the CLI and
+the ``scenario-smoke`` CI job can execute every one:
+
+* ``esports-final`` — a broadcast flash crowd: two scripted join
+  spikes into an ArenaStrike-heavy game mix at the evening peak.
+* ``follow-the-sun`` — a multi-timezone diurnal population: per-region
+  start offsets spread the evening peak around the clock, with the
+  ``forecast.diurnal`` weekly participation shape.
+* ``regional-isp-outage`` — a correlated regional outage plus ambient
+  link degradation, the §4 availability story as one document.
+* ``mobile-thin-clients`` — bandwidth-constrained thin clients on the
+  noisy PlanetLab testbed: capped downlinks, a quality-ladder ceiling
+  and receiver-driven adaptation forced on (PAPERS.md: "Network
+  Traffic Adaptation For Cloud Games").
+* ``spot-preemption-economy`` — spot-market supernodes: warned
+  preemptions with healing, and §4.4 economics knobs skewed to cheap
+  rewards.
+
+Registry API: :func:`scenario_names`, :func:`get_scenario`,
+:func:`resolve` (name-or-path, as the CLI accepts).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .schema import Scenario, load_scenario
+
+__all__ = ["BUILTIN_SCENARIOS", "scenario_names", "get_scenario",
+           "resolve"]
+
+
+def _esports_final() -> Scenario:
+    return Scenario.from_dict({
+        "version": 1,
+        "name": "esports-final",
+        "description": "Broadcast flash crowd: two join spikes into an "
+                       "FPS-heavy mix at the evening peak.",
+        "seed": 7,
+        "population": {"daily_participants": 120},
+        "workload": {
+            "game_weights": {"ArenaStrike": 6.0, "BladeDuel": 2.0,
+                             "KingdomSaga": 1.0},
+            "flash_crowds": [
+                {"day": 2, "subcycle": 20, "players": 60,
+                 "duration_hours": 3.0, "game": "ArenaStrike"},
+                {"day": 3, "subcycle": 21, "players": 40,
+                 "duration_hours": 2.0, "game": "ArenaStrike"}],
+        },
+        "infrastructure": {"testbed": "peersim", "scale": 0.002,
+                           "variant": "CloudFog/A"},
+        "schedule": {"days": 4, "warmup_days": 2},
+    })
+
+
+def _follow_the_sun() -> Scenario:
+    return Scenario.from_dict({
+        "version": 1,
+        "name": "follow-the-sun",
+        "description": "Multi-timezone diurnal population: regional "
+                       "start offsets spread the evening peak around "
+                       "the clock.",
+        "seed": 11,
+        "population": {
+            "daily_participants": 140,
+            # One offset per peersim datacenter region: five zones,
+            # ~5 subcycles apart — the peak follows the sun.
+            "start_offsets": [0, 5, 10, 15, 19],
+            # The forecast.diurnal weekly shape (weekends run hotter).
+            "weekly_weights": [0.92, 0.94, 0.96, 0.98, 1.05, 1.12,
+                               1.03],
+            "offpeak_share": 0.4,
+        },
+        "infrastructure": {"testbed": "peersim", "scale": 0.002,
+                           "variant": "CloudFog/A"},
+        "schedule": {"days": 4, "warmup_days": 2},
+    })
+
+
+def _regional_isp_outage() -> Scenario:
+    return Scenario.from_dict({
+        "version": 1,
+        "name": "regional-isp-outage",
+        "description": "A metro ISP failure: correlated regional "
+                       "outage mid-peak plus ambient loss, with the "
+                       "healing policy replacing lost capacity.",
+        "seed": 13,
+        "population": {"daily_participants": 120},
+        "infrastructure": {"testbed": "peersim", "scale": 0.002,
+                           "variant": "CloudFog/A"},
+        "faults": {
+            "events": [
+                {"kind": "regional_outage", "day": 2, "subcycle": 20,
+                 "datacenter": 1, "radius_km": 40.0},
+                {"kind": "degrade_link", "day": 2, "subcycle": 21,
+                 "extra_ms": 35.0},
+                {"kind": "regional_outage", "day": 3, "subcycle": 14,
+                 "datacenter": 3, "radius_km": 25.0}],
+            "ambient_loss_boost": 0.01,
+            "healing": {"delay_subcycles": 2,
+                        "replacement_share": 0.5},
+        },
+        "schedule": {"days": 4, "warmup_days": 2},
+    })
+
+
+def _mobile_thin_clients() -> Scenario:
+    return Scenario.from_dict({
+        "version": 1,
+        "name": "mobile-thin-clients",
+        "description": "Bandwidth-constrained mobile thin clients on "
+                       "noisy wide-area paths: capped downlinks, a "
+                       "quality ceiling, adaptation forced on.",
+        "seed": 17,
+        "population": {"daily_participants": 100, "offpeak_share": 0.5},
+        "workload": {"duration_shares": [0.7, 0.2, 0.1]},
+        "infrastructure": {"testbed": "planetlab", "scale": 0.27,
+                           "variant": "CloudFog/A"},
+        "streaming": {"quality_ceiling": 2, "downlink_cap_mbps": 1.5,
+                      "rate_adaptation": True},
+        "schedule": {"days": 4, "warmup_days": 2},
+    })
+
+
+def _spot_preemption_economy() -> Scenario:
+    return Scenario.from_dict({
+        "version": 1,
+        "name": "spot-preemption-economy",
+        "description": "Spot-market supernodes: warned preemptions "
+                       "with healing replacements, economics knobs "
+                       "skewed to cheap rewards.",
+        "seed": 19,
+        "population": {"daily_participants": 120},
+        "infrastructure": {"testbed": "peersim", "scale": 0.002,
+                           "variant": "CloudFog/A"},
+        "faults": {
+            "events": [
+                {"kind": "preempt", "day": 2, "subcycle": 15,
+                 "count": 2, "warning_subcycles": 2},
+                {"kind": "preempt", "day": 2, "subcycle": 21,
+                 "count": 3, "warning_subcycles": 1},
+                {"kind": "preempt", "day": 3, "subcycle": 20,
+                 "count": 2, "warning_subcycles": 2}],
+            "healing": {"delay_subcycles": 1,
+                        "replacement_share": 1.0},
+        },
+        "economics": {"reward_per_gb": 0.5,
+                      "revenue_per_mbps_hour": 0.038},
+        "schedule": {"days": 4, "warmup_days": 2},
+    })
+
+
+#: Registry of the built-in scenarios, by name, in presentation order.
+BUILTIN_SCENARIOS = {
+    scenario.name: scenario
+    for scenario in (_esports_final(), _follow_the_sun(),
+                     _regional_isp_outage(), _mobile_thin_clients(),
+                     _spot_preemption_economy())
+}
+
+
+def scenario_names() -> list[str]:
+    """The built-in scenario names, in registry order."""
+    return list(BUILTIN_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """A built-in scenario by name (ValueError with the valid list)."""
+    try:
+        return BUILTIN_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(f"unknown scenario {name!r}; built-ins: "
+                         f"{scenario_names()}") from None
+
+
+def resolve(name_or_path: str) -> tuple[Scenario, Path | None]:
+    """A scenario by registry name or file path, as the CLI accepts.
+
+    Returns ``(scenario, base_dir)`` where ``base_dir`` is the
+    containing directory for file scenarios (resolving relative
+    ``faults.ref`` paths) and None for built-ins.
+    """
+    if name_or_path in BUILTIN_SCENARIOS:
+        return BUILTIN_SCENARIOS[name_or_path], None
+    path = Path(name_or_path)
+    if path.suffix in (".json", ".toml") or path.exists():
+        if not path.exists():
+            raise ValueError(f"scenario file {path} does not exist")
+        return load_scenario(path), path.parent
+    raise ValueError(f"unknown scenario {name_or_path!r}; pass a "
+                     f"built-in name ({scenario_names()}) or a "
+                     f".json/.toml file path")

@@ -1,0 +1,57 @@
+"""Property-style tests for the largest-remainder partition split."""
+
+import random
+
+from repro.core.shard import _largest_remainder_split
+
+
+def test_split_sums_to_total_for_many_random_cases():
+    rng = random.Random(12345)
+    for _ in range(500):
+        total = rng.randrange(0, 10_000)
+        weights = [rng.randrange(0, 50)
+                   for _ in range(rng.randrange(1, 12))]
+        split = _largest_remainder_split(total, weights)
+        assert len(split) == len(weights)
+        assert sum(split) == (total if sum(weights) else 0)
+        assert all(part >= 0 for part in split)
+
+
+def test_split_is_proportional_within_one_unit():
+    rng = random.Random(99)
+    for _ in range(200):
+        total = rng.randrange(1, 5_000)
+        weights = [rng.randrange(1, 40) for _ in range(rng.randrange(1, 9))]
+        split = _largest_remainder_split(total, weights)
+        denom = sum(weights)
+        for part, weight in zip(split, weights):
+            quota = total * weight / denom
+            # Largest-remainder apportionment never strays more than
+            # one unit from the exact quota.
+            assert quota - 1 < part < quota + 1
+
+
+def test_ties_break_by_position_deterministically():
+    # Four equal weights, two leftover units: the earliest positions
+    # win the remainders, every time.
+    assert _largest_remainder_split(6, [1, 1, 1, 1]) == [2, 2, 1, 1]
+    for _ in range(5):
+        assert _largest_remainder_split(6, [1, 1, 1, 1]) == [2, 2, 1, 1]
+
+
+def test_zero_weights_get_nothing():
+    assert _largest_remainder_split(10, [0, 3, 0, 1]) == [0, 8, 0, 2]
+    assert _largest_remainder_split(10, [0, 0]) == [0, 0]
+    assert _largest_remainder_split(0, [2, 5]) == [0, 0]
+
+
+def test_monotone_in_total():
+    # Growing the total never shrinks any partition's share by more
+    # than the apportionment jitter of one unit.
+    weights = [3, 1, 4, 1, 5]
+    previous = _largest_remainder_split(0, weights)
+    for total in range(1, 300):
+        current = _largest_remainder_split(total, weights)
+        assert sum(current) == total
+        assert all(c >= p - 1 for c, p in zip(current, previous))
+        previous = current

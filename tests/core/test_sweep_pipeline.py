@@ -44,7 +44,7 @@ def test_stages_run_in_order_every_subcycle(monkeypatch):
     expected = [(stage.__name__, subcycle)
                 for subcycle in range(1, hours + 1)
                 for stage in (sweep.stage_departures, sweep.stage_faults,
-                              sweep.stage_arrivals)]
+                              sweep.stage_scenario, sweep.stage_arrivals)]
     assert calls == expected
 
 

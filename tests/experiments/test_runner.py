@@ -39,6 +39,23 @@ def test_cdn_small_variant(testbed):
     assert config.num_cdn_servers == max(2, testbed.num_supernodes // 8)
 
 
+@pytest.mark.parametrize("variant", ["CDN", "CDN-small"])
+def test_cdn_variants_demand_a_supernode_budget(testbed, variant):
+    """Regression: omitting num_supernodes used to silently build a
+    2-server CDN (max(2, 0 // 2)) instead of deriving the site count
+    from the CloudFog budget — now it is an actionable error."""
+    with pytest.raises(ValueError, match="num_supernodes"):
+        variant_config(variant, testbed, seed=0, num_supernodes=0)
+    # The message says how to fix it, naming the failing variant.
+    with pytest.raises(ValueError, match=variant):
+        variant_config(variant, testbed, seed=0, num_supernodes=0)
+    # An explicit budget override is honoured by both variants.
+    divisor = 2 if variant == "CDN" else 8
+    config = variant_config(variant, testbed, seed=0, num_supernodes=40)
+    assert config.num_cdn_servers == max(2, 40 // divisor)
+    assert config.num_supernodes == 0  # a CDN runs no fog layer
+
+
 def test_cloudfog_variants_differ_by_strategies(testbed):
     basic = variant_config("CloudFog/B", testbed, seed=0)
     advanced = variant_config("CloudFog/A", testbed, seed=0)

@@ -49,10 +49,13 @@ def random_plan(seed: int) -> FaultPlan:
                 event = FaultEvent(day=day, subcycle=subcycle, kind=kind,
                                    extra_ms=float(rng.uniform(5, 100)))
             elif kind == "lose_updates":
+                # Same draw sequence, clamped into the day: windows
+                # overrunning subcycle 24 are rejected at validation.
                 event = FaultEvent(
                     day=day, subcycle=subcycle, kind=kind,
                     severity=float(rng.uniform(0.1, 0.9)),
-                    duration_subcycles=int(rng.integers(1, 5)))
+                    duration_subcycles=min(int(rng.integers(1, 5)),
+                                           HOURS - subcycle + 1))
             elif kind == "dc_outage":
                 event = FaultEvent(
                     day=day, subcycle=subcycle, kind=kind,

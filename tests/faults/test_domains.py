@@ -165,11 +165,12 @@ def test_partition_queues_then_resolves_displaced_sessions():
 
 
 def test_partition_outliving_sessions_sheds_them():
-    # The window runs to end of day, so queued sessions can never be
-    # flushed back to the cloud: the day-end flush sheds them.
+    # The window runs to end of day (subcycles 10..24, stated
+    # explicitly — overruns are rejected), so queued sessions can never
+    # be flushed back to the cloud: the day-end flush sheds them.
     plan = FaultPlan(events=(
         FaultEvent(day=0, subcycle=10, kind="partition",
-                   duration_subcycles=24),
+                   duration_subcycles=15),
         FaultEvent(day=0, subcycle=11, kind="crash", count=11),))
     _, result = _run(plan)
     summary = result.faults

@@ -83,6 +83,45 @@ def test_validate_for_rejects_out_of_range_targets():
     plan.validate_for(hours_per_day=24, num_datacenters=8)  # in range
 
 
+def test_validate_for_rejects_window_end_overrunning_the_day():
+    """A window end past the last subcycle is rejected, not silently
+    truncated mid-sweep: subcycle 20 + 6 subcycles ends at 25 > 24."""
+    plan = FaultPlan(events=(
+        FaultEvent(day=0, subcycle=2, kind="crash"),
+        FaultEvent(day=1, subcycle=20, kind="lose_updates",
+                   severity=0.4, duration_subcycles=6),))
+    with pytest.raises(ValueError,
+                       match=r"events\[1\].*window \[20, 25\].*overruns"):
+        plan.validate_for(hours_per_day=24, num_datacenters=3)
+    # The message is actionable: it names the largest duration that
+    # still fits ("run to the end of the day").
+    with pytest.raises(ValueError, match=r"duration_subcycles <= 5"):
+        plan.validate_for(hours_per_day=24, num_datacenters=3)
+
+
+def test_validate_for_accepts_window_running_to_day_end():
+    plan = FaultPlan(events=(
+        FaultEvent(day=0, subcycle=20, kind="partition",
+                   duration_subcycles=5),))  # covers 20..24 exactly
+    plan.validate_for(hours_per_day=24, num_datacenters=3)
+    # The same window overruns a shorter day.
+    with pytest.raises(ValueError, match=r"events\[0\].*overruns"):
+        plan.validate_for(hours_per_day=22, num_datacenters=3)
+
+
+def test_window_overrun_fails_at_system_construction():
+    from repro.core import CloudFogSystem
+    from repro.core.config import cloudfog_advanced
+
+    plan = FaultPlan(events=(
+        FaultEvent(day=0, subcycle=23, kind="partition",
+                   duration_subcycles=4),))
+    config = cloudfog_advanced(num_players=30, num_supernodes=4,
+                               fault_plan=plan)
+    with pytest.raises(ValueError, match=r"window \[23, 26\]"):
+        CloudFogSystem(config)
+
+
 def test_system_adoption_runs_validate_for():
     """A scenario authored against the wrong topology fails at system
     construction, not deep inside the sweep."""

@@ -71,6 +71,28 @@ def test_evaluate_flags_violating_days_and_burn_rates():
     assert not day2.alerting  # fast window is clean
 
 
+def test_days_without_data_get_no_verdict():
+    """Regression: a day with no recoveries used to report
+    recovery_p95_ms == 0.0 and trivially satisfy sub-second-recovery.
+    Now such days carry None and are skipped — no verdict, no error
+    budget burned — while real slow recoveries still violate."""
+    objective = SloObjective(name="sub-second-recovery",
+                             metric="recovery_p95_ms",
+                             op="<=", threshold=1000.0)
+    policy = SloPolicy(objectives=(objective,), windows=(BurnWindow(1),))
+    store = TimeSeriesStore(qoe=FlatQoe())
+    store.observe_day(day=0, records=[_record(90.0)], recovery_ms=[])
+    store.observe_day(day=1, records=[_record(90.0)],
+                      recovery_ms=[1500.0])
+    store.observe_day(day=2, records=[_record(90.0)], recovery_ms=[])
+    report = evaluate(policy, store)
+    (obj,) = report.objectives
+    # Only the day with actual recoveries is judged (and violates).
+    assert [v.day for v in obj.verdicts] == [1]
+    assert obj.violating_days == [1]
+    assert not report.ok
+
+
 def test_evaluate_empty_region_is_vacuously_ok():
     objective = SloObjective(name="x", metric="mean_mos", op=">=",
                              threshold=3.0, region="dc7")

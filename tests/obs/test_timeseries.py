@@ -31,7 +31,9 @@ def test_percentile_nearest_rank():
     assert percentile(values, 0.95) == 40.0
     assert percentile(values, 0.0) == 10.0
     assert percentile(values, 1.0) == 40.0
-    assert percentile([], 0.95) == 0.0
+    # No samples is "no data", not "instantly zero": a day without
+    # recoveries must not report recovery_p95_ms == 0.0.
+    assert percentile([], 0.95) is None
     with pytest.raises(ValueError):
         percentile(values, 1.5)
 
@@ -96,6 +98,41 @@ def test_series_and_regions_query():
     assert store.regions() == [ALL_REGIONS, "dc0", "dc1"]
     assert store.series("sessions") == [(0, 2), (1, 2), (2, 2)]
     assert store.series("sessions", region="dc1") == [(0, 1), (1, 1), (2, 1)]
+
+
+def test_day_without_recoveries_reports_none_not_zero():
+    """Regression: a day with no recoveries used to report
+    recovery_p95_ms == 0.0, letting a sub-second-recovery SLO pass
+    trivially.  Empty samples are "no data" (None), and the gauges
+    skip them instead of exporting a fake zero."""
+    registry = MetricsRegistry()
+    store = TimeSeriesStore(registry=registry, qoe=FlatQoe())
+    (quiet,) = store.observe_day(day=0, records=[], recovery_ms=[])
+    assert quiet.recovery_p95_ms is None
+    assert quiet.p95_response_latency_ms is None
+    # None never reaches the registry: no latency gauge exists yet.
+    assert not any(metric.name == "repro_day_p95_response_latency_ms"
+                   for metric in registry)
+    (busy,) = store.observe_day(day=1, records=[make_record(0)],
+                                recovery_ms=[640.0])
+    assert busy.recovery_p95_ms == 640.0
+    # A later empty day leaves the gauge at its last real value.
+    store.observe_day(day=2, records=[], recovery_ms=[])
+    collected = {(metric.name, dict(metric.labels).get("region")):
+                 metric.value for metric in registry}
+    assert collected[("repro_day_p95_response_latency_ms",
+                      "all")] == 100.0
+
+
+def test_none_fields_round_trip_through_payload():
+    store = TimeSeriesStore(qoe=FlatQoe())
+    store.observe_day(day=0, records=[], recovery_ms=[])
+    sample = store.latest()
+    assert sample.p95_response_latency_ms is None
+    assert sample.recovery_p95_ms is None
+    clone = TimeSeriesStore(qoe=FlatQoe())
+    clone.load_payload(store.as_payload())
+    assert clone.samples() == store.samples()
 
 
 def test_payload_round_trip_is_exact():

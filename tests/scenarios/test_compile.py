@@ -1,0 +1,108 @@
+"""Compilation: scenario documents lower onto SystemConfig + hooks."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios import BUILTIN_SCENARIOS, Scenario, get_scenario
+from repro.scenarios.compile import compile_scenario
+from repro.scenarios.hooks import FlashCrowdStage
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("name", sorted(BUILTIN_SCENARIOS))
+def test_every_builtin_compiles(name):
+    compiled = compile_scenario(get_scenario(name))
+    assert compiled.config.num_players > 0
+    assert compiled.days == compiled.config.schedule.days
+    assert compiled.label == f"scenario-{name}"
+
+
+def test_flash_crowds_become_sweep_stages():
+    compiled = compile_scenario(get_scenario("esports-final"))
+    stages = compiled.configure.stages
+    assert len(stages) == 2
+    assert all(isinstance(stage, FlashCrowdStage) for stage in stages)
+    assert stages[0].day == 2 and stages[0].subcycle == 20
+    assert stages[0].game == "ArenaStrike"
+
+
+def test_population_players_overrides_the_testbed():
+    scenario = Scenario.from_dict({
+        "version": 1, "name": "t", "population": {"players": 123},
+        "schedule": {"days": 2, "warmup_days": 1}})
+    compiled = compile_scenario(scenario)
+    assert compiled.config.num_players == 123
+
+
+def test_schedule_days_shrinks_the_default_warmup_to_fit():
+    scenario = Scenario.from_dict({
+        "version": 1, "name": "t", "schedule": {"days": 3}})
+    compiled = compile_scenario(scenario)
+    assert compiled.config.schedule.days == 3
+    assert compiled.config.schedule.warmup_days == 2
+
+
+def test_seed_parameter_overrides_the_document():
+    scenario = get_scenario("esports-final")
+    assert compile_scenario(scenario).config.seed == 7
+    assert compile_scenario(scenario, seed=42).config.seed == 42
+
+
+def test_rate_adaptation_override_lands_in_the_strategy_flags():
+    compiled = compile_scenario(get_scenario("mobile-thin-clients"))
+    assert compiled.config.strategies.rate_adaptation is True
+
+
+def test_infrastructure_overrides_flow_into_the_config():
+    scenario = Scenario.from_dict({
+        "version": 1, "name": "t",
+        "infrastructure": {"overrides": {"num_supernodes": 33}},
+        "schedule": {"days": 2, "warmup_days": 1}})
+    assert compile_scenario(scenario).config.num_supernodes == 33
+
+
+def test_inline_faults_become_the_config_fault_plan():
+    compiled = compile_scenario(get_scenario("regional-isp-outage"))
+    plan = compiled.config.fault_plan
+    assert plan is not None
+    assert len(plan.events) == 3
+
+
+def test_faults_ref_resolves_relative_to_base_dir():
+    scenario = Scenario.from_dict({
+        "version": 1, "name": "t",
+        "faults": {"ref": "resilience_scenario.json"},
+        "schedule": {"days": 5, "warmup_days": 1}})
+    compiled = compile_scenario(scenario, base_dir=EXAMPLES)
+    assert compiled.config.fault_plan is not None
+    assert len(compiled.config.fault_plan.events) == 5
+
+
+def test_missing_faults_ref_is_an_actionable_error():
+    scenario = Scenario.from_dict({
+        "version": 1, "name": "t",
+        "faults": {"ref": "no/such/plan.json"}})
+    with pytest.raises(ValueError, match=r"faults\.ref: cannot load"):
+        compile_scenario(scenario, base_dir=EXAMPLES)
+
+
+def test_configurator_installs_the_scenario_seams():
+    from repro.core.system import CloudFogSystem
+
+    compiled = compile_scenario(get_scenario("mobile-thin-clients"))
+    system = CloudFogSystem(compiled.config)
+    assert system.state.quality_ceiling is None  # untouched by default
+    compiled.configure(system.state)
+    assert system.state.quality_ceiling == 2
+    links = system.state.topology.player_links.download_mbps
+    assert links.max() <= 1.5
+
+
+def test_configurator_is_picklable_for_sharded_workers():
+    import pickle
+
+    for name in BUILTIN_SCENARIOS:
+        configure = compile_scenario(get_scenario(name)).configure
+        assert pickle.loads(pickle.dumps(configure)) == configure

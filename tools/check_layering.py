@@ -5,6 +5,8 @@ The sweep pipeline is layered (DESIGN.md §10); each module may import
 only modules at its own rank or below::
 
     100  repro.experiments.*
+    100  repro.scenarios.compile    (lowers scenarios onto configs)
+    100  repro.scenarios.run        (scenario CLI/runner)
      90  repro.core.system          (façade)
      90  repro.persist              (checkpoint/resume driver)
      80  repro.core.sweep           (orchestrator)
@@ -14,6 +16,7 @@ only modules at its own rank or below::
      40  repro.core.accounting
      30  repro.core.state
      10  repro.core.*               (leaf modules: config, entities, …)
+     10  repro.scenarios.*          (schema/hooks/library leaves)
       0  everything else            (foundation: network, sim, obs, …)
 
 An import whose target ranks *above* the importer is an upward import —
@@ -44,7 +47,13 @@ SRC = Path(__file__).resolve().parent.parent / "src"
 RANKS = {
     "repro.__main__": 100,  # CLI entry point drives experiments
     "repro.experiments": 100,
+    "repro.scenarios.compile": 100,  # builds variant configs
+    "repro.scenarios.run": 100,      # drives experiments.runner
     "repro.core.system": 90,
+    # repro.scenarios itself (schema/hooks/library) stays foundation:
+    # it may import only workload/streaming/faults leaves, so the
+    # sweep's stage_scenario hook point never pulls experiments in.
+    "repro.scenarios": 10,
     "repro.core.shard": 90,  # drives core.sweep + persist per partition
     "repro.persist": 90,   # drives core.sweep for resumed schedules
     "repro.core.sweep": 80,
